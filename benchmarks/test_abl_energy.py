@@ -1,0 +1,50 @@
+"""Extra analysis: energy proportionality of core harvesting.
+
+Not a paper figure, but the flip side of Section 6.7's utilization claim:
+a NoHarvest server burns most of its energy on leakage while cores idle;
+harvesting amortizes the same static power over 3-4x the work. We report
+average power and energy per completed batch unit for the five systems.
+"""
+
+from conftest import SWEEP_SIM, once
+
+from repro.analysis.energy import energy_per_batch_unit, estimate_energy
+from repro.analysis.report import format_table
+from repro.core.experiment import run_server_raw
+from repro.core.presets import all_systems
+
+
+def run_all():
+    out = {}
+    for name, system in all_systems().items():
+        sim = run_server_raw(system, SWEEP_SIM)
+        report = estimate_energy(sim)
+        out[name] = {
+            "power_w": report.average_power_w,
+            "j_per_unit": energy_per_batch_unit(sim),
+            "busy": sim.average_busy_cores(),
+        }
+    return out
+
+
+def test_ablation_energy_proportionality(benchmark):
+    results = once(benchmark, run_all)
+    cols = ["avg power W", "J per batch unit", "busy cores"]
+    rows = {
+        name: [r["power_w"], r["j_per_unit"], r["busy"]]
+        for name, r in results.items()
+    }
+    print("\n" + format_table("Energy proportionality of harvesting",
+                              cols, rows, precision=3))
+
+    base = results["NoHarvest"]
+    hh = results["HardHarvest-Block"]
+    print(f"  HardHarvest-Block: {hh['power_w'] / base['power_w']:.2f}x the power, "
+          f"{base['j_per_unit'] / hh['j_per_unit']:.2f}x less energy per unit")
+
+    # Harvesting draws more power but is far more energy-proportional.
+    assert hh["power_w"] > base["power_w"]
+    assert hh["j_per_unit"] < base["j_per_unit"] / 1.5
+    # Ordering follows utilization.
+    assert results["Harvest-Term"]["j_per_unit"] < base["j_per_unit"]
+    assert hh["j_per_unit"] < results["Harvest-Term"]["j_per_unit"]

@@ -1,0 +1,50 @@
+"""Extra ablation (DESIGN.md §5): harvest-region size.
+
+The paper defaults to 50% of the ways (Table 1) and notes the region could
+be 1/2 or 1/3 of the structure. We sweep the fraction and check the
+tradeoff: a bigger harvest region gives batch work more cache (throughput
+up) but leaves the Primary VM less protected state.
+"""
+
+from dataclasses import replace
+
+from conftest import SWEEP_SIM, once
+
+from repro.analysis.report import format_table
+from repro.core.experiment import run_systems
+from repro.core.presets import hardharvest_block
+
+FRACTIONS = (0.33, 0.50, 0.67)
+
+
+def build_systems():
+    base = hardharvest_block()
+    return {
+        f"region={int(f * 100)}%": replace(
+            base, partition=replace(base.partition, harvest_fraction=f)
+        )
+        for f in FRACTIONS
+    }
+
+
+def run_all():
+    return run_systems(build_systems(), SWEEP_SIM)
+
+
+def test_ablation_harvest_region_size(benchmark):
+    results = once(benchmark, run_all)
+    cols = ["P99 ms", "P50 ms", "batch units/s", "busy cores"]
+    rows = {
+        name: [res.avg_p99_ms(), res.avg_p50_ms(), res.batch_units_per_s,
+               res.avg_busy_cores]
+        for name, res in results.items()
+    }
+    print("\n" + format_table(
+        "Ablation: harvest-region fraction (HardHarvest-Block)", cols, rows))
+
+    # Primary latency stays in a narrow band across region sizes (the
+    # mechanism is robust), and utilization stays high everywhere.
+    p99s = [r.avg_p99_ms() for r in results.values()]
+    assert max(p99s) < min(p99s) * 1.4
+    for res in results.values():
+        assert res.avg_busy_cores > 28

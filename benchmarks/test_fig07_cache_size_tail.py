@@ -1,0 +1,59 @@
+"""F7 — Figure 7: tail latency with a fraction of the cache/TLB hierarchy.
+
+The paper scales the *ways* of every cache and TLB to 100/75/50/25% (sets
+constant), plus an infinite-cache bar, and finds microservices barely
+suffer until 25% — the small-working-set observation that motivates
+way-partitioning.
+"""
+
+from dataclasses import replace
+
+from conftest import SWEEP_SIM, once
+
+from repro.analysis.report import format_table, with_average
+from repro.core.experiment import run_systems
+from repro.core.presets import noharvest
+from repro.workloads.microservices import SERVICE_NAMES
+
+
+def build_systems():
+    base = noharvest()
+    systems = {
+        "Inf": replace(base, hierarchy=replace(base.hierarchy, infinite=True)),
+        "100%": base,
+    }
+    for frac in (0.75, 0.50, 0.25):
+        systems[f"{int(frac * 100)}%"] = replace(
+            base, hierarchy=base.hierarchy.scaled(frac)
+        )
+    return systems
+
+
+def run_all():
+    return run_systems(build_systems(), SWEEP_SIM)
+
+
+def test_fig07_cache_size_sensitivity(benchmark):
+    results = once(benchmark, run_all)
+    cols = list(SERVICE_NAMES) + ["Avg"]
+    rows = {
+        name: list(with_average(res.p99_ms).values())
+        for name, res in results.items()
+    }
+    print("\n" + format_table(
+        "Figure 7: P99 vs fraction of the cache/TLB hierarchy", cols, rows,
+        unit="ms"))
+
+    inf = results["Inf"].avg_p99_ms()
+    full = results["100%"].avg_p99_ms()
+    half = results["50%"].avg_p99_ms()
+    quarter = results["25%"].avg_p99_ms()
+    print(f"  Avg P99: Inf {inf:.2f}  100% {full:.2f}  50% {half:.2f}  "
+          f"25% {quarter:.2f} ms")
+
+    # Shape: infinite <= full; half costs little (paper: "very small
+    # impact even with 1/2"); quarter is the worst finite point.
+    assert inf <= full * 1.02
+    assert half <= full * 1.30
+    assert quarter >= half * 0.98
+    assert quarter >= full

@@ -1,0 +1,36 @@
+"""F13 — Figure 13: ablation on in-hardware context switching vs hardware
+request scheduling, applied individually and together over Harvest-Block.
+
+Paper: Sched and CtxtSw have similar individual impact and a partially
+additive combined effect.
+"""
+
+from conftest import SWEEP_SIM, once
+
+from repro.analysis.report import format_series
+from repro.core.experiment import run_systems
+from repro.core.presets import fig13_points
+
+
+def run_all():
+    return run_systems(fig13_points(), SWEEP_SIM)
+
+
+def test_fig13_sched_vs_ctxtsw(benchmark):
+    results = once(benchmark, run_all)
+    series = {name: res.avg_p99_ms() for name, res in results.items()}
+    print("\n" + format_series(
+        "Figure 13: CtxtSw / Sched ablation (avg P99, ms)", series))
+
+    base = series["HarvestBlock"]
+    both = series["+CtxtSw&Sched"]
+    ctxtsw = series["+CtxtSw"]
+    sched = series["+Sched"]
+    print(f"  reductions: +CtxtSw {1 - ctxtsw / base:.1%}, "
+          f"+Sched {1 - sched / base:.1%}, both {1 - both / base:.1%}")
+
+    # Each alone helps; together they help at least as much as the better
+    # single optimization (partially additive).
+    assert ctxtsw <= base
+    assert sched < base
+    assert both <= min(ctxtsw, sched) * 1.05

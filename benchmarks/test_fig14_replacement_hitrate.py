@@ -1,0 +1,118 @@
+"""F14 — Figure 14: L2 hit rate under different replacement policies.
+
+A focused cache study at full fill density: a scaled L2 (64 sets x 8 ways,
+harvest region = 4 ways) serves interleaved Primary-request phases (shared
+pages with long-term reuse + per-invocation private pages) and Harvest-VM
+batch phases (confined to the harvest region), with the harvest region
+flushed at every transition — exactly the access regime a loaned core's L2
+sees under HardHarvest-Block.
+
+Policies: vanilla LRU, RRIP, the paper's Algorithm 1, and Belady's MIN
+replayed offline on the primary access stream. Paper: Algorithm 1 beats LRU
+by 11.3% and RRIP by 8.2% and is within 3.1% of Belady.
+
+(The full-system engine also reports in-run L2 hit rates, but its sampled
+access density is far below real request density, which starves
+invalid-first placement; this study keeps the density realistic relative to
+the cache size.)
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis.belady import belady_hit_rate
+from repro.analysis.report import format_series
+from repro.mem.cache import SetAssocArray
+from repro.mem.partition import full_mask
+from repro.mem.replacement import HardHarvestPolicy, LruPolicy, RripPolicy
+
+SETS = 64
+WAYS = 8
+HARVEST_MASK = 0b00001111
+ROUNDS = 150
+PRIMARY_ACCESSES = 2400
+BATCH_ACCESSES = 1500
+SHARED_LINES = 450    # hot shared set: protectable by the non-harvest region
+PRIVATE_LINES = 2200  # heavy per-invocation churn pressure
+BATCH_LINES = 4000
+SHARED_SKEW = 2.5
+SHARED_FRACTION = 0.6
+
+
+def generate_phases(seed=1):
+    """A list of (kind, accesses) phases; access = (set, tag, shared)."""
+    rng = np.random.default_rng(seed)
+    phases = []
+    for r in range(ROUNDS):
+        primary = []
+        # Shared working set: hot-skewed, stable across rounds.
+        n_shared = int(PRIMARY_ACCESSES * SHARED_FRACTION)
+        shared_lines = (rng.random(n_shared) ** SHARED_SKEW * SHARED_LINES).astype(int)
+        # Private pages: fresh-ish per round (allocator cycles 4 pools).
+        pool = r % 4
+        private_lines = (
+            SHARED_LINES
+            + pool * PRIVATE_LINES
+            + (rng.random(PRIMARY_ACCESSES - n_shared) ** 1.5 * PRIVATE_LINES).astype(int)
+        )
+        for line in shared_lines:
+            primary.append((int(line) % SETS, int(line), True))
+        for line in private_lines:
+            primary.append((int(line) % SETS, int(line), False))
+        rng.shuffle(primary)
+        phases.append(("primary", primary))
+
+        batch = []
+        base = SHARED_LINES + 8 * PRIVATE_LINES
+        batch_lines = base + (rng.random(BATCH_ACCESSES) * BATCH_LINES).astype(int)
+        for line in batch_lines:
+            batch.append((int(line) % SETS, int(line), False))
+        phases.append(("batch", batch))
+    return phases
+
+
+def run_policy(policy, phases):
+    arr = SetAssocArray("L2", SETS, WAYS, policy)
+    all_ways = full_mask(WAYS)
+    hits = accesses = 0
+    for kind, stream in phases:
+        allowed = all_ways if kind == "primary" else HARVEST_MASK
+        for s, tag, shared in stream:
+            hit = arr.access(s, tag, shared, allowed)
+            if kind == "primary":
+                accesses += 1
+                hits += hit
+        # Transition: flush the harvest region (both directions).
+        arr.flush_ways(HARVEST_MASK)
+    return hits / accesses
+
+
+def run_all():
+    phases = generate_phases()
+    results = {
+        "Vanilla LRU": run_policy(LruPolicy(), phases),
+        "RRIP": run_policy(RripPolicy(), phases),
+        "HardHarvest": run_policy(HardHarvestPolicy(HARVEST_MASK, 0.75), phases),
+    }
+    primary_trace = [a for kind, stream in phases if kind == "primary" for a in stream]
+    results["Belady"] = belady_hit_rate(primary_trace, WAYS)
+    return results
+
+
+def test_fig14_l2_hit_rate_by_policy(benchmark):
+    rates = once(benchmark, run_all)
+    print("\n" + format_series(
+        "Figure 14: L2 hit rate by replacement policy (%)",
+        {k: v * 100 for k, v in rates.items()}, precision=1))
+    print(f"  HardHarvest vs LRU: +{(rates['HardHarvest'] - rates['Vanilla LRU']) * 100:.1f}pp"
+          f" (paper: +11.3%);  vs RRIP: +{(rates['HardHarvest'] - rates['RRIP']) * 100:.1f}pp"
+          f" (paper: +8.2%)")
+    print(f"  gap to Belady: {(rates['Belady'] - rates['HardHarvest']) * 100:.1f}pp"
+          " (paper: 3.1%)")
+
+    # Paper's ordering: HardHarvest > RRIP, LRU; Belady bounds everything.
+    assert rates["HardHarvest"] > rates["Vanilla LRU"] + 0.02
+    assert rates["HardHarvest"] > rates["RRIP"]
+    assert rates["Belady"] >= rates["HardHarvest"]
+    # All policies operate in a sane regime (not degenerate).
+    assert rates["Vanilla LRU"] > 0.2

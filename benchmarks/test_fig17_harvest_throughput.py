@@ -1,0 +1,68 @@
+"""F17 — Figure 17: throughput of Harvest VMs, normalized to NoHarvest.
+
+One batch application per server (the paper's 8-server cluster). We run
+each job under NoHarvest, Harvest-Term (the software baseline), and
+HardHarvest-Block (the proposal). Paper: Harvest-Term 1.7x, HardHarvest-
+Block 3.1x on average; memory-intensive jobs (RndFTrain) gain slightly less.
+"""
+
+from conftest import SWEEP_SIM, once
+
+from repro.analysis.report import format_table
+from repro.core.experiment import run_server
+from repro.core.presets import harvest_term, hardharvest_block, noharvest
+from repro.workloads.batch import BATCH_JOBS, BATCH_NAMES
+
+SYSTEMS = {
+    "NoHarvest": noharvest(),
+    "Harvest-Term": harvest_term(),
+    "HardHarvest-Block": hardharvest_block(),
+}
+
+
+def run_all():
+    results = {}
+    for name, system in SYSTEMS.items():
+        per_job = {}
+        for i, job in enumerate(BATCH_JOBS):
+            res = run_server(system, SWEEP_SIM, batch_job=job, server_index=i)
+            per_job[job.name] = res.batch_units_per_s
+        results[name] = per_job
+    return results
+
+
+def test_fig17_harvest_vm_throughput(benchmark):
+    results = once(benchmark, run_all)
+    base = results["NoHarvest"]
+    cols = list(BATCH_NAMES) + ["Avg"]
+    rows = {}
+    for name, per_job in results.items():
+        normalized = [per_job[j] / base[j] for j in BATCH_NAMES]
+        rows[name] = normalized + [sum(normalized) / len(normalized)]
+    print("\n" + format_table(
+        "Figure 17: Harvest VM throughput normalized to NoHarvest",
+        cols, rows))
+    from repro.analysis.plots import grouped_bar_chart
+
+    print(grouped_bar_chart(
+        "Figure 17 (per batch job)",
+        {
+            job: {name: results[name][job] / base[job] for name in results}
+            for job in BATCH_NAMES[:4]
+        },
+        unit="x",
+    ))
+
+    sw_avg = rows["Harvest-Term"][-1]
+    hh_avg = rows["HardHarvest-Block"][-1]
+    print(f"  averages: Harvest-Term {sw_avg:.2f}x (paper 1.7x), "
+          f"HardHarvest-Block {hh_avg:.2f}x (paper 3.1x)")
+
+    # Shape: both harvest; HardHarvest close to twice the software gain.
+    assert sw_avg > 1.2
+    assert hh_avg > sw_avg * 1.4
+    # Memory-intensive RndFTrain gains less than the average under
+    # HardHarvest (reduced cache share hurts it most).
+    hh = rows["HardHarvest-Block"]
+    rndf = hh[BATCH_NAMES.index("RndFTrain")]
+    assert rndf < hh_avg * 1.05

@@ -1,0 +1,91 @@
+"""Performance microbenchmarks of the simulator's own substrate.
+
+Unlike the figure benches (one timed round of a whole experiment), these
+use pytest-benchmark conventionally, timing the hot paths many times:
+cache accesses, replacement decisions, queue operations, and the event
+engine. Useful for keeping the simulator fast enough for the full suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.request_queue import RequestQueue
+from repro.mem.cache import SetAssocArray
+from repro.mem.partition import full_mask
+from repro.mem.replacement import HardHarvestPolicy, LruPolicy
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def access_stream():
+    rng = np.random.default_rng(0)
+    sets = rng.integers(0, 64, 4000)
+    tags = (rng.random(4000) ** 2 * 300).astype(int)
+    shared = rng.random(4000) < 0.5
+    return list(zip(sets.tolist(), tags.tolist(), shared.tolist()))
+
+
+def test_perf_cache_access_lru(benchmark, access_stream):
+    arr = SetAssocArray("L2", 64, 8, LruPolicy())
+    allowed = full_mask(8)
+
+    def run():
+        for s, t, sh in access_stream:
+            arr.access(s, t, sh, allowed)
+
+    benchmark(run)
+    assert arr.accesses > 0
+
+
+def test_perf_cache_access_hardharvest(benchmark, access_stream):
+    arr = SetAssocArray("L2", 64, 8, HardHarvestPolicy(0b1111, 0.75))
+    allowed = full_mask(8)
+
+    def run():
+        for s, t, sh in access_stream:
+            arr.access(s, t, sh, allowed)
+
+    benchmark(run)
+    assert arr.accesses > 0
+
+
+def test_perf_region_flush_lazy(benchmark, access_stream):
+    """Lazy flushing must be O(1) per flush call, not O(sets)."""
+    arr = SetAssocArray("L2", 1024, 8, LruPolicy())
+    allowed = full_mask(8)
+    for s, t, sh in access_stream:
+        arr.access(s, t, sh, allowed)
+
+    benchmark(lambda: arr.flush_ways(0b1111))
+
+
+def test_perf_event_engine(benchmark):
+    def run():
+        sim = Simulator()
+
+        def chain(n):
+            if n:
+                sim.schedule(10, chain, n - 1)
+
+        for _ in range(50):
+            sim.schedule(1, chain, 100)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 50 * 101
+
+
+def test_perf_queue_operations(benchmark):
+    rq = RequestQueue(32, 64)
+    sq = rq.create_subqueue(0, 32)
+
+    def run():
+        for i in range(500):
+            sq.enqueue(i)
+        for _ in range(500):
+            req = sq.dequeue_ready()
+            sq.complete(req)
+
+    benchmark(run)
+    assert sq.total_pending() == 0

@@ -1,0 +1,39 @@
+"""U — Section 6.7: average core utilization of the five systems.
+
+Paper: NoHarvest 10.3, Harvest-Term 23.8, Harvest-Block 26.5,
+HardHarvest-Term 28.7, HardHarvest-Block 34.8 (of 36 cores);
+HardHarvest-Block = 1.5x Harvest-Term and 3.4x NoHarvest.
+"""
+
+from conftest import five_systems, once
+
+from repro.analysis.report import format_series
+
+ORDER = ["NoHarvest", "Harvest-Term", "Harvest-Block",
+         "HardHarvest-Term", "HardHarvest-Block"]
+PAPER = {"NoHarvest": 10.3, "Harvest-Term": 23.8, "Harvest-Block": 26.5,
+         "HardHarvest-Term": 28.7, "HardHarvest-Block": 34.8}
+
+
+def test_sec67_core_utilization(benchmark, five_systems):
+    results = once(benchmark, lambda: five_systems)
+    series = {name: results[name].avg_busy_cores for name in ORDER}
+    print("\n" + format_series(
+        "Section 6.7: average busy cores (of 36)", series, precision=1))
+    print("  paper: " + "  ".join(f"{k}={v}" for k, v in PAPER.items()))
+    hh = series["HardHarvest-Block"]
+    sw = series["Harvest-Term"]
+    noh = series["NoHarvest"]
+    print(f"  HardHarvest-Block vs Harvest-Term: {hh / sw:.2f}x (paper 1.5x); "
+          f"vs NoHarvest: {hh / noh:.2f}x (paper 3.4x)")
+
+    # Orderings: harvesting helps; hardware helps more; Block >= Term for
+    # the hardware design.
+    assert noh < sw
+    assert sw < hh
+    assert series["HardHarvest-Term"] <= hh + 0.5
+    # Headline factors in the right regime.
+    assert 1.3 < hh / sw < 4.0
+    assert hh / noh > 2.5
+    # HardHarvest-Block utilizes most of the server.
+    assert hh > 30

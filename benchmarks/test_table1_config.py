@@ -1,0 +1,64 @@
+"""T1 — Table 1: architectural parameters of the evaluated system.
+
+Regenerates the table rows from the default configuration objects and
+checks them against the paper's values.
+"""
+
+from conftest import once
+
+from repro.config import ClusterConfig, ControllerConfig, HierarchyConfig, SystemConfig
+from repro.sim.units import KB, MB
+
+
+def build_table():
+    h = HierarchyConfig()
+    c = ClusterConfig()
+    ctrl = ControllerConfig()
+    rows = {
+        "Servers in cluster": c.num_servers,
+        "Cores per server": c.cores_per_server,
+        "Core frequency (GHz)": h.freq_ghz,
+        "L1D (KB/ways/cycles)": (h.l1d.size_bytes // KB, h.l1d.ways, h.l1d.round_trip_cycles),
+        "L1I (KB/ways/cycles)": (h.l1i.size_bytes // KB, h.l1i.ways, h.l1i.round_trip_cycles),
+        "L2 (KB/ways/cycles)": (h.l2.size_bytes // KB, h.l2.ways, h.l2.round_trip_cycles),
+        "LLC/core (MB/ways/cycles)": (
+            h.llc_per_core.size_bytes / MB,
+            h.llc_per_core.ways,
+            h.llc_per_core.round_trip_cycles,
+        ),
+        "L1 TLB (entries/ways/cycles)": (h.l1_tlb.entries, h.l1_tlb.ways, h.l1_tlb.round_trip_cycles),
+        "L2 TLB (entries/ways/cycles)": (h.l2_tlb.entries, h.l2_tlb.ways, h.l2_tlb.round_trip_cycles),
+        "Primary VMs/server x cores": (c.primary_vms_per_server, c.cores_per_primary_vm),
+        "Harvest VMs/server x cores": (c.harvest_vms_per_server, c.harvest_vm_base_cores),
+        "Inter-server RT (us)": c.inter_server_rt_ns / 1000,
+        "RQ chunks x entries": (ctrl.num_chunks, ctrl.entries_per_chunk),
+        "Queue Managers": ctrl.num_queue_managers,
+        "VM State registers": ctrl.vm_state_registers,
+        "Mem bandwidth (GB/s)": h.memory.bandwidth_gbps,
+    }
+    return rows
+
+
+def test_table1_parameters(benchmark):
+    rows = once(benchmark, build_table)
+    print("\n== Table 1: Architectural parameters")
+    for key, value in rows.items():
+        print(f"  {key:34s} {value}")
+
+    assert rows["Cores per server"] == 36
+    assert rows["L1D (KB/ways/cycles)"] == (48, 12, 5)
+    assert rows["L1I (KB/ways/cycles)"] == (32, 8, 5)
+    assert rows["L2 (KB/ways/cycles)"] == (512, 8, 13)
+    assert rows["LLC/core (MB/ways/cycles)"] == (2.0, 16, 36)
+    assert rows["L1 TLB (entries/ways/cycles)"] == (128, 4, 2)
+    assert rows["L2 TLB (entries/ways/cycles)"] == (2048, 8, 12)
+    assert rows["Primary VMs/server x cores"] == (8, 4)
+    assert rows["Harvest VMs/server x cores"] == (1, 4)
+    assert rows["RQ chunks x entries"] == (32, 64)
+    assert rows["Queue Managers"] == 16
+    assert rows["Mem bandwidth (GB/s)"] == 102.4
+    # Harvest region / eviction candidates defaults (Table 1 bottom).
+    system = SystemConfig()
+    assert system.partition.harvest_fraction == 0.5
+    assert system.partition.eviction_candidates_fraction == 0.75
+    assert system.flush_costs.region_flush_cycles == 1000

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Scenario: studying cache replacement under harvesting churn.
+
+Uses the library's cache substrate directly — no full-system simulation —
+to explore the paper's Algorithm 1: a way-partitioned cache serving an
+interleaved stream of Primary-request accesses (shared + private pages) and
+Harvest-VM batch accesses, with the harvest region flushed at every
+transition. Compares LRU, RRIP, Algorithm 1, and offline Belady, then
+sweeps the eviction-candidate window M (Figure 19's knob).
+
+Run:  python examples/replacement_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.belady import belady_hit_rate
+from repro.mem.cache import SetAssocArray
+from repro.mem.partition import full_mask
+from repro.mem.replacement import HardHarvestPolicy, LruPolicy, RripPolicy
+
+SETS, WAYS = 64, 8
+HARVEST = 0b00001111  # low 4 ways are the harvest region
+
+
+def make_stream(rounds=120, seed=5):
+    """Alternating primary/batch phases with per-phase region flushes."""
+    rng = np.random.default_rng(seed)
+    phases = []
+    for r in range(rounds):
+        primary = []
+        shared = (rng.random(1400) ** 2.5 * 450).astype(int)
+        private = 450 + (r % 4) * 2200 + (rng.random(900) ** 1.5 * 2200).astype(int)
+        for line in shared:
+            primary.append((int(line) % SETS, int(line), True))
+        for line in private:
+            primary.append((int(line) % SETS, int(line), False))
+        rng.shuffle(primary)
+        phases.append(("primary", primary))
+        batch = 450 + 8 * 2200 + (rng.random(1200) * 4000).astype(int)
+        phases.append(("batch", [(int(l) % SETS, int(l), False) for l in batch]))
+    return phases
+
+
+def run(policy, phases):
+    arr = SetAssocArray("L2", SETS, WAYS, policy)
+    hits = accesses = 0
+    for kind, stream in phases:
+        allowed = full_mask(WAYS) if kind == "primary" else HARVEST
+        for s, tag, shared in stream:
+            hit = arr.access(s, tag, shared, allowed)
+            if kind == "primary":
+                accesses += 1
+                hits += hit
+        arr.flush_ways(HARVEST)
+    return hits / accesses
+
+
+def main() -> None:
+    phases = make_stream()
+    print("Primary-side L2 hit rate under harvesting churn:")
+    print(f"  {'vanilla LRU':16s} {run(LruPolicy(), phases) * 100:5.1f}%")
+    print(f"  {'RRIP':16s} {run(RripPolicy(), phases) * 100:5.1f}%")
+    print(f"  {'Algorithm 1':16s} "
+          f"{run(HardHarvestPolicy(HARVEST, 0.75), phases) * 100:5.1f}%")
+    primary = [a for k, s in phases if k == "primary" for a in s]
+    print(f"  {'Belady (offline)':16s} {belady_hit_rate(primary, WAYS) * 100:5.1f}%")
+
+    print()
+    print("Eviction-candidate window sweep (Algorithm 1's M, Figure 19):")
+    for m in (0.25, 0.5, 0.75, 1.0):
+        rate = run(HardHarvestPolicy(HARVEST, m), phases)
+        print(f"  M = {int(m * 100):3d}% of ways  ->  {rate * 100:5.1f}% hit rate")
+    print()
+    print("Small M cannot preserve shared lines (hit rate drops). Large M")
+    print("maximizes raw hit rate on this stream but, in the full system,")
+    print("M = 100% keeps evicting hot *private* lines of the running")
+    print("request and raises tail latency (see benchmarks/test_fig19) —")
+    print("which is why the paper lands on 75%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""HardHarvest reproduction: hardware-supported core harvesting for
+microservices (Stojkovic et al., ISCA 2025), as a pure-Python
+discrete-event cluster simulator.
+
+Quick start::
+
+    from repro import SystemKind, SimulationConfig, build_system, run_server
+
+    system = build_system(SystemKind.HARDHARVEST_BLOCK)
+    result = run_server(system, SimulationConfig(requests_per_service=500))
+    print(f"P99 = {result.avg_p99_ms():.2f} ms, "
+          f"busy cores = {result.avg_busy_cores:.1f}")
+
+Package map:
+
+* :mod:`repro.config`    -- Table-1 parameters and cost constants.
+* :mod:`repro.sim`       -- event engine, RNG streams, statistics.
+* :mod:`repro.mem`       -- caches/TLBs, partitioning, replacement, DRAM.
+* :mod:`repro.hw`        -- the HardHarvest controller (RQ, QMs, contexts).
+* :mod:`repro.cluster`   -- cores, VMs, NIC, the per-server engine.
+* :mod:`repro.harvest`   -- lending agents and the transition cost model.
+* :mod:`repro.workloads` -- services, batch jobs/kernels, Alibaba traces.
+* :mod:`repro.core`      -- presets and the experiment API.
+* :mod:`repro.analysis`  -- Belady replay, report formatting.
+"""
+
+from repro.config import (
+    ClusterConfig,
+    FlushScope,
+    HarvestTrigger,
+    OptimizationFlags,
+    PartitionConfig,
+    ReplacementKind,
+    SimulationConfig,
+    SystemConfig,
+    SystemKind,
+)
+from repro.core import (
+    ClusterResult,
+    ServerResult,
+    all_systems,
+    build_system,
+    harvest_block,
+    harvest_term,
+    hardharvest_block,
+    hardharvest_term,
+    noharvest,
+    run_cluster,
+    run_server,
+    run_server_raw,
+    run_systems,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SystemKind",
+    "SystemConfig",
+    "SimulationConfig",
+    "ClusterConfig",
+    "HarvestTrigger",
+    "FlushScope",
+    "ReplacementKind",
+    "PartitionConfig",
+    "OptimizationFlags",
+    "build_system",
+    "all_systems",
+    "noharvest",
+    "harvest_term",
+    "harvest_block",
+    "hardharvest_term",
+    "hardharvest_block",
+    "run_server",
+    "run_server_raw",
+    "run_cluster",
+    "run_systems",
+    "ServerResult",
+    "ClusterResult",
+]

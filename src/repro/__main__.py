@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      — simulate one server under one system and print its metrics.
+``compare``  — run all five evaluated systems on the identical workload.
+``cluster``  — the paper's multi-server setup (one batch job per server).
+``storage``  — print the Section 6.8 hardware cost accounting.
+
+Examples::
+
+    python -m repro run --system HardHarvest-Block --horizon-ms 300
+    python -m repro compare --seed 7
+    python -m repro cluster --servers 4
+    python -m repro storage
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.analysis.report import format_series, format_table, with_average
+from repro.config import ControllerConfig, HierarchyConfig, SimulationConfig, SystemKind
+from repro.core.experiment import run_cluster, run_server, run_systems
+from repro.core.presets import all_systems, build_system
+from repro.hw.storage_cost import compute_storage_report
+from repro.workloads.microservices import SERVICE_NAMES
+
+SYSTEM_NAMES = [kind.value for kind in SystemKind]
+
+
+def _sim_config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        horizon_ms=args.horizon_ms,
+        warmup_ms=min(args.horizon_ms / 5, 100.0),
+        seed=args.seed,
+        accesses_per_segment=args.accesses,
+        servers_to_simulate=getattr(args, "servers", 1),
+    )
+
+
+def _print_result(name: str, res) -> None:
+    print(f"\n=== {name}")
+    print(f"  avg P99 latency    {res.avg_p99_ms():8.2f} ms")
+    print(f"  avg median latency {res.avg_p50_ms():8.2f} ms")
+    print(f"  batch throughput   {res.batch_units_per_s:8.0f} units/s "
+          f"({res.batch_job})")
+    print(f"  busy cores         {res.avg_busy_cores:8.1f} / 36")
+    print(f"  L2 hit rate        {res.l2_hit_rate * 100:8.1f} %")
+    interesting = ("lends", "reclaims", "buffer_borrows", "queue_overflow_spills")
+    counts = {k: v for k, v in res.counters.items() if k in interesting and v}
+    if counts:
+        print("  events             " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.serialize import dumps, loads
+
+    simcfg = _sim_config(args)
+    if args.config:
+        with open(args.config) as fh:
+            system, loaded_sim = loads(fh.read())
+        if loaded_sim is not None:
+            simcfg = loaded_sim
+        name = system.name
+    else:
+        kind = next((k for k in SystemKind if k.value == args.system), None)
+        if kind is None:
+            print(f"unknown system {args.system!r}; choose from {SYSTEM_NAMES}",
+                  file=sys.stderr)
+            return 2
+        system = build_system(kind)
+        name = args.system
+    if args.dump_config:
+        with open(args.dump_config, "w") as fh:
+            fh.write(dumps(system, simcfg))
+        print(f"wrote experiment config to {args.dump_config}")
+        return 0
+    res = run_server(system, simcfg)
+    _print_result(name, res)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = run_systems(all_systems(), _sim_config(args))
+    cols = list(SERVICE_NAMES) + ["Avg"]
+    rows = {
+        name: list(with_average(res.p99_ms).values())
+        for name, res in results.items()
+    }
+    print(format_table("P99 tail latency", cols, rows, unit="ms"))
+    print()
+    print(format_series("Busy cores (of 36)",
+                        {k: r.avg_busy_cores for k, r in results.items()},
+                        precision=1))
+    base = results["NoHarvest"].batch_units_per_s
+    print()
+    print(format_series("Harvest throughput vs NoHarvest",
+                        {k: r.batch_units_per_s / base for k, r in results.items()}))
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    kind = next((k for k in SystemKind if k.value == args.system), None)
+    if kind is None:
+        print(f"unknown system {args.system!r}", file=sys.stderr)
+        return 2
+    simcfg = replace(_sim_config(args), servers_to_simulate=args.servers)
+    result = run_cluster(build_system(kind), simcfg)
+    print(f"=== {args.system} across {args.servers} servers")
+    for server in result.servers:
+        print(f"  [{server.batch_job:10s}] P99 {server.avg_p99_ms():6.2f} ms | "
+              f"busy {server.avg_busy_cores:5.1f} | "
+              f"batch {server.batch_units_per_s:7.0f} u/s")
+    print(f"  cluster avg P99 {result.avg_p99_ms():.2f} ms, "
+          f"busy {result.avg_busy_cores():.1f}")
+    return 0
+
+
+def cmd_storage(_args: argparse.Namespace) -> int:
+    report = compute_storage_report(ControllerConfig(), HierarchyConfig(), 36)
+    print("HardHarvest hardware cost (Section 6.8):")
+    print(f"  controller storage  {report.controller_bytes / 1024:6.2f} KB")
+    print(f"  shared bits/server  {report.shared_bit_bytes_total / 1024:6.2f} KB")
+    print(f"  area overhead       {report.area_overhead_fraction * 100:6.3f} %")
+    print(f"  power overhead      {report.power_overhead_fraction * 100:6.3f} %")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HardHarvest reproduction: simulate core harvesting.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--horizon-ms", type=float, default=300.0,
+                       help="simulated wall-clock per server (default 300)")
+        p.add_argument("--seed", type=int, default=2025)
+        p.add_argument("--accesses", type=int, default=24,
+                       help="sampled memory accesses per compute segment")
+
+    p_run = sub.add_parser("run", help="simulate one system")
+    p_run.add_argument("--system", default="HardHarvest-Block",
+                       choices=SYSTEM_NAMES)
+    p_run.add_argument("--config", default=None,
+                       help="load a serialized experiment (JSON) instead")
+    p_run.add_argument("--dump-config", default=None,
+                       help="write the experiment JSON and exit")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all five systems, same workload")
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_cl = sub.add_parser("cluster", help="multi-server run")
+    p_cl.add_argument("--system", default="HardHarvest-Block",
+                      choices=SYSTEM_NAMES)
+    p_cl.add_argument("--servers", type=int, default=8)
+    common(p_cl)
+    p_cl.set_defaults(func=cmd_cluster)
+
+    p_st = sub.add_parser("storage", help="Section 6.8 hardware cost")
+    p_st.set_defaults(func=cmd_storage)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

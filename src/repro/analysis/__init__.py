@@ -1,0 +1,43 @@
+"""Offline analysis: Belady replay and report formatting."""
+
+from repro.analysis.belady import belady_hit_rate, merge_traces, replay_policy
+from repro.analysis.energy import EnergyReport, energy_per_batch_unit, estimate_energy
+from repro.analysis.plots import bar_chart, grouped_bar_chart, sparkline
+from repro.analysis.queueing import (
+    erlang_c,
+    mg1_mean_wait,
+    mgc_mean_wait,
+    mmc_mean_wait,
+    utilization,
+)
+from repro.analysis.report import format_series, format_table, with_average
+from repro.analysis.security import (
+    AuditReport,
+    audit_flush_on_idle,
+    audit_partition_isolation,
+    audit_timing_gate,
+)
+
+__all__ = [
+    "belady_hit_rate",
+    "replay_policy",
+    "merge_traces",
+    "format_table",
+    "format_series",
+    "with_average",
+    "bar_chart",
+    "grouped_bar_chart",
+    "sparkline",
+    "AuditReport",
+    "audit_partition_isolation",
+    "audit_flush_on_idle",
+    "audit_timing_gate",
+    "EnergyReport",
+    "estimate_energy",
+    "energy_per_batch_unit",
+    "erlang_c",
+    "mmc_mean_wait",
+    "mgc_mean_wait",
+    "mg1_mean_wait",
+    "utilization",
+]

@@ -1,0 +1,104 @@
+"""Energy accounting: per-run dynamic + static energy estimates.
+
+Extends the Section 6.8 McPAT-lite area/power model into runtime energy:
+per-access dynamic energy for each structure (from published per-access
+energy of similarly-sized SRAMs at 7 nm) plus leakage over the simulated
+horizon. The absolute joules are rough; the *comparative* story is the
+point: harvesting amortizes the server's static power over far more work,
+so energy per unit of batch work drops even though total power rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.server import ServerSimulation
+from repro.sim.units import SEC
+
+#: Per-access dynamic energy (picojoules), 7nm-class estimates.
+ENERGY_PJ = {
+    "l1": 6.0,
+    "l2": 18.0,
+    "llc": 45.0,
+    "tlb": 2.5,
+    "dram": 2600.0,
+    "rq": 1.2,  # controller SRAM queue access
+}
+#: Static power (watts) per server component.
+STATIC_W = {
+    "core": 1.1,    # per core, active-idle average
+    "llc": 4.5,     # whole LLC
+    "controller": 0.05,
+}
+#: Dynamic power of a core actively executing (watts).
+CORE_ACTIVE_W = 2.6
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one simulated server run."""
+
+    horizon_s: float
+    dynamic_j: float
+    static_j: float
+    core_active_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.static_j + self.core_active_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_j / self.horizon_s if self.horizon_s else 0.0
+
+
+def estimate_energy(sim: ServerSimulation) -> EnergyReport:
+    """Energy estimate for a completed run."""
+    horizon_s = sim.end_ns / SEC
+
+    # Dynamic: sum structure accesses across cores and LLC partitions.
+    dyn_pj = 0.0
+    for core in sim.cores:
+        mem = core.memory
+        dyn_pj += (mem.l1d.array.accesses + mem.l1i.array.accesses) * ENERGY_PJ["l1"]
+        dyn_pj += mem.l2.array.accesses * ENERGY_PJ["l2"]
+        dyn_pj += (
+            mem.l1_tlb.array.accesses + mem.l2_tlb.array.accesses
+        ) * ENERGY_PJ["tlb"]
+    for vm in sim.primary_vms:
+        dyn_pj += vm.llc.array.accesses * ENERGY_PJ["llc"]
+    for hvm in sim.harvest_vms:
+        dyn_pj += hvm.llc.array.accesses * ENERGY_PJ["llc"]
+    dyn_pj += sim.dram.accesses * ENERGY_PJ["dram"]
+    if sim.controller is not None:
+        rq_ops = sum(qm.subqueue.hw_occupancy for qm in sim.controller.qms.values())
+        rq_ops += sim.counters.get("lends", 0) + sim.counters.get("reclaims", 0)
+        dyn_pj += rq_ops * ENERGY_PJ["rq"]
+
+    # Static: every core + LLC + (controller, if present) leaks for the
+    # whole horizon.
+    n_cores = len(sim.cores)
+    static_w = n_cores * STATIC_W["core"] + STATIC_W["llc"]
+    if sim.controller is not None:
+        static_w += STATIC_W["controller"]
+    static_j = static_w * horizon_s
+
+    # Active-core energy: busy core-seconds at the active-power adder.
+    busy_core_seconds = sim.util.average_busy(sim.end_ns) * horizon_s
+    core_active_j = busy_core_seconds * CORE_ACTIVE_W
+
+    return EnergyReport(
+        horizon_s=horizon_s,
+        dynamic_j=dyn_pj * 1e-12,
+        static_j=static_j,
+        core_active_j=core_active_j,
+    )
+
+
+def energy_per_batch_unit(sim: ServerSimulation) -> float:
+    """Joules of server energy per completed batch unit — the
+    energy-proportionality lens on harvesting."""
+    units = sum(h.units_completed for h in sim.harvest_vms)
+    if units <= 0:
+        raise ValueError("no batch work completed")
+    return estimate_energy(sim).total_j / units

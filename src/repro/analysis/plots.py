@@ -1,0 +1,87 @@
+"""Terminal plotting: ASCII bar charts for benchmark output.
+
+The paper's figures are grouped bar charts (per-service bars, one group per
+system). These helpers render the same structure in plain text so the
+benchmark harnesses can show the figure, not just its numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    title: str,
+    values: Dict[str, float],
+    width: int = 44,
+    unit: str = "",
+    baseline: Optional[str] = None,
+) -> str:
+    """One horizontal bar per entry, scaled to the maximum value.
+
+    ``baseline`` names an entry whose value is marked with a ``|`` gridline
+    on every other bar (e.g. NoHarvest in a comparison).
+    """
+    if not values:
+        raise ValueError("no values to plot")
+    vmax = max(values.values())
+    if vmax <= 0:
+        raise ValueError("all values non-positive")
+    name_w = max(len(k) for k in values)
+    base_col = None
+    if baseline is not None and values.get(baseline, 0) > 0:
+        base_col = int(round(values[baseline] / vmax * width))
+    lines = [f"== {title}" + (f" [{unit}]" if unit else "")]
+    for name, value in values.items():
+        n = value / vmax * width
+        full = int(n)
+        bar = _BAR * full + (_HALF if n - full >= 0.5 else "")
+        if base_col is not None and name != baseline and len(bar) < base_col:
+            bar = bar + " " * (base_col - len(bar) - 1) + "|"
+        lines.append(f"{name.ljust(name_w)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Dict[str, Dict[str, float]],
+    width: int = 36,
+    unit: str = "",
+) -> str:
+    """Figure-style grouped bars: one block per group (e.g. service), one
+    bar per series (e.g. system) within it."""
+    if not groups:
+        raise ValueError("no groups to plot")
+    vmax = max(v for series in groups.values() for v in series.values())
+    if vmax <= 0:
+        raise ValueError("all values non-positive")
+    series_w = max(len(k) for series in groups.values() for k in series)
+    lines = [f"== {title}" + (f" [{unit}]" if unit else "")]
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            n = value / vmax * width
+            full = int(n)
+            bar = _BAR * full + (_HALF if n - full >= 0.5 else "")
+            lines.append(f"  {name.ljust(series_w)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line sparkline (for utilization time series)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not len(values):
+        raise ValueError("no values")
+    vals = list(values)
+    if width is not None and len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    vmin, vmax = min(vals), max(vals)
+    span = (vmax - vmin) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - vmin) / span * (len(blocks) - 1)))]
+        for v in vals
+    )

@@ -1,0 +1,72 @@
+"""Analytic queueing models for validating the simulator.
+
+The engine's baseline behaviour (NoHarvest at steady load) should agree
+with classic queueing theory: a Primary VM is approximately an M/G/c queue
+(Poisson arrivals, general service times, c = 4 cores). These formulas give
+the analytic expectations the validation tests compare against:
+
+* :func:`erlang_c` — probability of queueing in M/M/c.
+* :func:`mmc_mean_wait` — mean queueing delay in M/M/c.
+* :func:`mgc_mean_wait` — the standard M/G/c approximation
+  (M/M/c wait scaled by (1 + CV^2)/2, exact for M/G/1).
+* :func:`utilization` — offered load per server.
+
+These are also useful on their own for back-of-envelope sizing of
+harvesting headroom.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def utilization(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Offered load per server: rho = lambda * E[S] / c."""
+    if arrival_rate < 0 or service_time <= 0 or servers <= 0:
+        raise ValueError("invalid queueing parameters")
+    return arrival_rate * service_time / servers
+
+
+def erlang_c(arrival_rate: float, service_time: float, servers: int) -> float:
+    """P(wait > 0) in an M/M/c queue (Erlang C formula)."""
+    rho = utilization(arrival_rate, service_time, servers)
+    if rho >= 1.0:
+        return 1.0
+    a = arrival_rate * service_time  # offered load in Erlangs
+    # Sum_{k=0}^{c-1} a^k / k!
+    acc = 0.0
+    term = 1.0
+    for k in range(servers):
+        if k > 0:
+            term *= a / k
+        acc += term
+    top = term * a / servers / (1.0 - rho)
+    return top / (acc + top)
+
+
+def mmc_mean_wait(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Mean queueing delay E[Wq] in M/M/c."""
+    rho = utilization(arrival_rate, service_time, servers)
+    if rho >= 1.0:
+        return math.inf
+    pw = erlang_c(arrival_rate, service_time, servers)
+    return pw * service_time / (servers * (1.0 - rho))
+
+
+def mgc_mean_wait(
+    arrival_rate: float,
+    service_time: float,
+    servers: int,
+    cv: float,
+) -> float:
+    """Mean queueing delay in M/G/c via the Lee-Longton approximation:
+    E[Wq] = (1 + CV^2)/2 * E[Wq]_{M/M/c}. Exact for M/G/1 (Pollaczek-
+    Khinchine) and accurate within a few percent for moderate CV."""
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    return (1.0 + cv * cv) / 2.0 * mmc_mean_wait(arrival_rate, service_time, servers)
+
+
+def mg1_mean_wait(arrival_rate: float, service_time: float, cv: float) -> float:
+    """Pollaczek-Khinchine mean wait for M/G/1."""
+    return mgc_mean_wait(arrival_rate, service_time, 1, cv)

@@ -1,0 +1,49 @@
+"""Plain-text table formatting for benchmark harnesses.
+
+Every benchmark prints the same rows/series the paper's figure shows; these
+helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Dict[str, Sequence[float]],
+    unit: str = "",
+    precision: int = 2,
+) -> str:
+    """Render a labeled table: one row per system/config, one column per
+    service/job, matching the bar groups of the paper's figures."""
+    width = max([len(c) for c in columns] + [precision + 6])
+    name_width = max(len(name) for name in rows) if rows else 8
+    lines = [f"== {title}" + (f" [{unit}]" if unit else "")]
+    header = " " * (name_width + 2) + "  ".join(c.rjust(width) for c in columns)
+    lines.append(header)
+    for name, values in rows.items():
+        if len(values) != len(columns):
+            raise ValueError(
+                f"row {name!r} has {len(values)} values for {len(columns)} columns"
+            )
+        cells = "  ".join(f"{v:>{width}.{precision}f}" for v in values)
+        lines.append(f"{name.ljust(name_width)}  {cells}")
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, float], precision: int = 3) -> str:
+    """Render a single name->value series (e.g. utilization per system)."""
+    name_width = max(len(name) for name in series)
+    lines = [f"== {title}"]
+    for name, value in series.items():
+        lines.append(f"{name.ljust(name_width)}  {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def with_average(values: Dict[str, float]) -> Dict[str, float]:
+    """Append the arithmetic mean under the key 'Avg' (paper convention)."""
+    out = dict(values)
+    out["Avg"] = sum(values.values()) / len(values)
+    return out

@@ -1,0 +1,21 @@
+"""Cluster substrate: cores, VMs, NIC, and the per-server event engine."""
+
+from repro.cluster.core import BUSY, IDLE, SWITCHING, Core
+from repro.cluster.nic import Nic
+from repro.cluster.request import Request
+from repro.cluster.server import ServerSimulation
+from repro.cluster.vm import BatchUnit, HarvestVm, PrimaryVm, SoftwareQueue
+
+__all__ = [
+    "Core",
+    "IDLE",
+    "BUSY",
+    "SWITCHING",
+    "Request",
+    "PrimaryVm",
+    "HarvestVm",
+    "BatchUnit",
+    "SoftwareQueue",
+    "Nic",
+    "ServerSimulation",
+]

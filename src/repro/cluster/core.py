@@ -1,0 +1,67 @@
+"""A physical core: ownership, run state, and its private memory hierarchy.
+
+States:
+
+* ``idle``      — no work; ``idle_cause`` says whether the core went idle on
+  request termination or on a blocking call (the Term/Block distinction).
+* ``busy``      — executing a Primary request segment or a batch unit.
+* ``switching`` — mid-transition (dispatch, lend, or reclaim critical path).
+
+``on_loan`` marks a Primary-bound core currently assigned to the Harvest VM
+(Section 4.1.4); ``running_vm_id`` is the VM whose context is loaded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.hierarchy import CoreMemory
+
+IDLE = "idle"
+BUSY = "busy"
+SWITCHING = "switching"
+
+
+class Core:
+    """One physical core of a server."""
+
+    def __init__(self, core_id: int, owner_vm_id: int, memory: CoreMemory):
+        self.core_id = core_id
+        self.owner_vm_id = owner_vm_id
+        self.memory = memory
+        self.state = IDLE
+        self.idle_cause: Optional[str] = None  # 'term' | 'block' | None
+        self.idle_since = 0
+        self.on_loan = False
+        self.loan_start_ns = 0
+        #: A reclaim has been initiated but its critical path has not
+        #: completed yet (counters already reflect it).
+        self.reclaim_in_flight = False
+        self.running_vm_id = owner_vm_id
+        #: Set while the core is temporarily attached to *another Primary
+        #: VM* via the software emergency buffer (SmartHarvest fast path).
+        self.guest_vm_id: Optional[int] = None
+        #: In-flight work handles (set by the engine).
+        self.current_request: Optional[object] = None
+        self.batch_event: Optional[object] = None
+        self.batch_unit_start_ns = 0
+        self.batch_unit_duration_ns = 0
+        self.batch_unit_remaining_tag: Optional[float] = None
+        #: Reassignment/flush cost pending attribution to the next request.
+        self.pending_reassign_ns = 0
+        self.pending_flush_ns = 0
+        #: CR3 of the VM State Register Set currently loaded (hardware
+        #: systems); lets invariant checks verify the right VM context is
+        #: live on the core.
+        self.loaded_cr3: Optional[int] = None
+
+    def take_pending_costs(self) -> tuple:
+        """Consume pending (reassign, flush) costs for breakdown accounting."""
+        costs = (self.pending_reassign_ns, self.pending_flush_ns)
+        self.pending_reassign_ns = 0
+        self.pending_flush_ns = 0
+        return costs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        loan = " loaned" if self.on_loan else ""
+        return f"Core({self.core_id}, owner=vm{self.owner_vm_id}, {self.state}{loan})"

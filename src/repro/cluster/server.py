@@ -1,0 +1,847 @@
+"""The per-server discrete-event engine tying everything together.
+
+One :class:`ServerSimulation` models one server of the paper's cluster:
+36 cores, 8 Primary VMs (one DeathStarBench-like service each, 4 cores
+each) and 1 Harvest VM (4 base cores plus whatever it harvests), under one
+of the evaluated architectures (NoHarvest, Harvest-Term/Block,
+HardHarvest-Term/Block, or any ablation point between them).
+
+Event flow
+----------
+
+* **Arrival** — the NIC deposits the payload via DDIO and the request lands
+  in the VM's queue (QM subqueue or software queue). If an idle bound core
+  exists it dispatches; otherwise, if a bound core is on loan, the engine
+  starts a *reclaim* (demand-driven in every system, with system-specific
+  costs).
+* **Dispatch** — queue access + work discovery + request context switch
+  (costs from :class:`~repro.harvest.costs.CostModel`); then the request's
+  next compute segment runs. Segment duration = drawn CPU time plus modeled
+  memory time: sampled accesses walk the core's real cache/TLB model and the
+  measured average latency is scaled by the service's reference density.
+* **Blocking I/O** — the request parks in the queue (entry stays, marked
+  BLOCKED), the core is released with cause ``block``; the response later
+  marks it ready, which may trigger dispatch or reclaim.
+* **Lend** — when a core idles and the harvesting agent approves, the core
+  transitions to the Harvest VM (flush semantics per system) and chews
+  batch units until preempted.
+* **Reclaim** — a loaned core is interrupted: its batch unit's remaining
+  work is preserved (hardware context switching) or lost (software); the
+  transition cost and any critical-path flush are charged before the core
+  returns to its Primary VM.
+
+Utilization counts cores executing useful work (Primary segments or batch
+units); switching/flush time is overhead and deliberately not counted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import HarvestTrigger, SimulationConfig, SystemConfig
+from repro.cluster.core import BUSY, IDLE, SWITCHING, Core
+from repro.cluster.backend import BackendTier
+from repro.cluster.nic import Nic
+from repro.cluster.request import Request
+from repro.cluster.vm import HarvestVm, PrimaryVm, SharedQueueAdapter, SoftwareQueue
+from repro.harvest.base import HarvestAgent, NoHarvestAgent
+from repro.harvest.costs import CostModel
+from repro.harvest.hardware import HardwareAgent
+from repro.harvest.software import SmartHarvestAgent
+from repro.hw.context import SavedContext
+from repro.hw.controller import HardHarvestController
+from repro.mem.address import AddressSpace
+from repro.mem.dram import DramModel
+from repro.mem.hierarchy import CoreMemory, build_llc
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import (
+    Breakdown,
+    BreakdownRecorder,
+    Counter,
+    LatencyRecorder,
+    UtilizationTracker,
+)
+from repro.sim.units import SEC, US
+from repro.workloads.batch import BATCH_JOBS, BatchJobProfile
+from repro.workloads.alibaba import sample_instances, utilization_timeseries
+from repro.workloads.loadgen import (
+    generate_arrivals_correlated,
+    generate_arrivals_from_trace,
+    generate_burst_schedule,
+)
+from repro.workloads.memory_profile import BatchMemory, ServiceMemory
+from repro.workloads.microservices import (
+    draw_blocking_calls,
+    draw_exec_time_us,
+    draw_io_time_us,
+)
+from repro.workloads.suites import get_suite
+
+
+class ServerSimulation:
+    """One simulated server under one system configuration."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        simcfg: SimulationConfig,
+        batch_job: Optional[BatchJobProfile] = None,
+        server_index: int = 0,
+    ):
+        self.system = system
+        self.simcfg = simcfg
+        self.server_index = server_index
+        self.sim = Simulator()
+        self.rng = RngRegistry(simcfg.seed + 7919 * server_index)
+        self.costs = CostModel(system)
+        self.dram = DramModel(system.hierarchy.memory)
+        self.nic = Nic()
+        #: Dedicated backend servers (Memcached/Redis/MongoDB tiers).
+        self.backends = BackendTier(self.sim)
+
+        cluster = system.cluster
+        self.controller: Optional[HardHarvestController] = None
+        if system.hardware_scheduling:
+            self.controller = HardHarvestController(
+                system.controller, cluster.cores_per_server, system.hierarchy.freq_ghz
+            )
+
+        # ------------------------------------------------------------------
+        # Build VMs.
+        # ------------------------------------------------------------------
+        self.primary_vms: List[PrimaryVm] = []
+        self.vms_by_id: Dict[int, object] = {}
+        services = get_suite(simcfg.suite)[: cluster.primary_vms_per_server]
+        vm_id = 0
+        for profile in services:
+            space = AddressSpace(vm_id)
+            memory = ServiceMemory(space, profile)
+            llc = build_llc(
+                f"LLC/vm{vm_id}", system.hierarchy, cluster.cores_per_primary_vm
+            )
+            if self.controller is not None:
+                queue = SharedQueueAdapter(
+                    self.controller.register_vm(
+                        vm_id, True, cluster.cores_per_primary_vm
+                    )
+                )
+            else:
+                queue = SoftwareQueue(vm_id)
+            vm = PrimaryVm(vm_id, profile, memory, llc, queue)
+            self.primary_vms.append(vm)
+            self.vms_by_id[vm_id] = vm
+            vm_id += 1
+
+        #: Without a hardware scheduler, requests are steered to per-core
+        #: queues (RSS onto vCPU runqueues) — Section 4.1.6's software world.
+        self.per_core_steering = not system.flags.sched
+
+        self.harvest_vms: List[HarvestVm] = []
+        for h in range(cluster.harvest_vms_per_server):
+            job = batch_job or BATCH_JOBS[(server_index + h) % len(BATCH_JOBS)]
+            space = AddressSpace(vm_id)
+            batch_memory = BatchMemory(
+                space, job.code_pages, job.data_pages, job.skew
+            )
+            harvest_llc = build_llc(
+                f"LLC/harvest{vm_id}", system.hierarchy, cluster.harvest_vm_base_cores
+            )
+            hvm = HarvestVm(
+                vm_id, job, batch_memory, harvest_llc, active=system.batch_active
+            )
+            self.harvest_vms.append(hvm)
+            self.vms_by_id[vm_id] = hvm
+            if self.controller is not None:
+                self.controller.register_vm(
+                    vm_id, False, cluster.harvest_vm_base_cores
+                )
+            vm_id += 1
+        #: The first Harvest VM (the paper's single-VM setup).
+        self.harvest_vm = self.harvest_vms[0]
+        self._lend_rr = 0  # round-robin lend target among Harvest VMs
+
+        # ------------------------------------------------------------------
+        # Build cores.
+        # ------------------------------------------------------------------
+        self.cores: List[Core] = []
+        core_id = 0
+        for vm in self.primary_vms:
+            for _ in range(cluster.cores_per_primary_vm):
+                core = self._make_core(core_id, vm.vm_id)
+                vm.cores.append(core)
+                core_id += 1
+        for hvm in self.harvest_vms:
+            for _ in range(cluster.harvest_vm_base_cores):
+                core = self._make_core(core_id, hvm.vm_id)
+                hvm.cores.append(core)
+                core_id += 1
+        # Unallocated cores (if any) are left idle and unbound.
+        while core_id < cluster.cores_per_server:
+            self._make_core(core_id, -1)
+            core_id += 1
+
+        if simcfg.record_l2_trace:
+            for core in self.cores:
+                core.memory.l2.array.enable_trace(simcfg.trace_limit)
+
+        # ------------------------------------------------------------------
+        # Harvesting agent.
+        # ------------------------------------------------------------------
+        self.agent = self._make_agent()
+        self.agent.attach(self)
+
+        # ------------------------------------------------------------------
+        # Metrics.
+        # ------------------------------------------------------------------
+        self.latency: Dict[str, LatencyRecorder] = {
+            vm.name: LatencyRecorder(vm.name) for vm in self.primary_vms
+        }
+        self.latency_all = LatencyRecorder("all")
+        self.util = UtilizationTracker(cluster.cores_per_server)
+        self._busy = 0
+        self.counters = Counter()
+        self.breakdowns = BreakdownRecorder()
+        self.l2_primary_hits = 0
+        self.l2_primary_accesses = 0
+        self.end_ns = 0
+        self._target_completions = 0
+        self._completions = 0
+        self._finished = False
+
+        # ------------------------------------------------------------------
+        # Pre-draw workload: identical across systems given the same seed.
+        # ------------------------------------------------------------------
+        self._generate_workload()
+
+    # ------------------------------------------------------------------
+    def _make_core(self, core_id: int, owner_vm_id: int) -> Core:
+        memory = CoreMemory(self.system.hierarchy, self.system.partition, self.dram)
+        core = Core(core_id, owner_vm_id, memory)
+        self.cores.append(core)
+        if self.controller is not None and owner_vm_id >= 0:
+            self.controller.qm_for(owner_vm_id).bind_core(core_id)
+        return core
+
+    def _make_agent(self) -> HarvestAgent:
+        trigger = self.system.trigger
+        if trigger is HarvestTrigger.NEVER:
+            return NoHarvestAgent()
+        if self.system.flags.sched:
+            if self.system.adaptive_trigger:
+                from repro.harvest.adaptive import AdaptiveAgent
+
+                return AdaptiveAgent()
+            return HardwareAgent(trigger)
+        return SmartHarvestAgent(trigger, self.system.smartharvest)
+
+    def _generate_workload(self) -> None:
+        simcfg = self.simcfg
+        horizon_ns = int(simcfg.horizon_ms * 1e6)
+        warmup_ns = int(simcfg.warmup_ms * 1e6)
+        # One burst schedule per server: the services of an application
+        # surge together (a user-traffic spike fans out through all of them).
+        burst_windows = generate_burst_schedule(
+            self.rng.stream("bursts"), horizon_ns
+        )
+        req_id = 0
+        for vm in self.primary_vms:
+            profile = vm.profile
+            arr_rng = self.rng.stream(f"arrivals/{profile.name}")
+            dem_rng = self.rng.stream(f"demand/{profile.name}")
+            if simcfg.trace_driven:
+                arrivals = self._trace_driven_arrivals(vm, arr_rng, horizon_ns)
+            else:
+                arrivals = generate_arrivals_correlated(
+                    arr_rng,
+                    profile,
+                    self.system.cluster.cores_per_primary_vm,
+                    horizon_ns,
+                    burst_windows,
+                    simcfg.load_scale,
+                    simcfg.requests_per_service,
+                )
+            for t in arrivals:
+                blocks = draw_blocking_calls(profile, dem_rng)
+                exec_ns = int(draw_exec_time_us(profile, dem_rng) * 1000)
+                # Pure backend service demand; network RT and backend
+                # queueing are added by the backend tier at run time.
+                ios = [
+                    int(draw_io_time_us(profile, dem_rng) * 1000)
+                    for _ in range(blocks)
+                ]
+                req = Request(
+                    req_id=req_id,
+                    vm_id=vm.vm_id,
+                    service=profile.name,
+                    arrival_ns=t,
+                    measured=t >= warmup_ns,
+                    exec_ns=exec_ns,
+                    io_durations_ns=ios,
+                    private_region=vm.memory.new_invocation(),
+                )
+                req_id += 1
+                self.sim.schedule_at(t, self._arrival, vm, req)
+                self._target_completions += 1
+
+    def _trace_driven_arrivals(self, vm, arr_rng, horizon_ns: int):
+        """Arrivals at the rates of a matched Alibaba instance (Section 5).
+
+        Samples an instance utilization profile from the synthetic Alibaba
+        population, expands it into a bursty time series at
+        ``trace_interval_ms`` granularity, and converts utilization to a
+        request rate via the service's mean busy time.
+        """
+        simcfg = self.simcfg
+        trace_rng = self.rng.stream(f"alibaba/{vm.profile.name}")
+        instance = sample_instances(trace_rng, 1)[0]
+        interval_ns = int(simcfg.trace_interval_ms * 1e6)
+        n_points = max(1, -(-horizon_ns // interval_ns))  # ceil division
+        series = utilization_timeseries(
+            trace_rng, instance, duration_s=n_points, granularity_s=1
+        )
+        return generate_arrivals_from_trace(
+            arr_rng,
+            vm.profile,
+            self.system.cluster.cores_per_primary_vm,
+            series,
+            interval_ns,
+            simcfg.load_scale,
+            simcfg.requests_per_service,
+        )
+
+    # ==================================================================
+    # Run loop
+    # ==================================================================
+    def run(self) -> None:
+        """Run until all Primary requests complete (or the safety cap)."""
+        self.agent.start()
+        for hvm in self.harvest_vms:
+            if hvm.active:
+                for core in hvm.cores:
+                    self._start_batch_unit(core)
+        cap_ns = self._horizon_cap()
+        while not self._finished and self.sim.pending_events:
+            self.sim.run(max_events=20_000)
+            if self.sim.now > cap_ns:
+                self.counters.incr("horizon_cap_hit")
+                break
+        self.end_ns = max(self.sim.now, 1)
+
+    def _horizon_cap(self) -> int:
+        last = self.sim.peek_next_time() or 0
+        # Arrivals were scheduled up front, so the heap's max arrival bounds
+        # the workload span; allow generous drain time after it.
+        return max(
+            int(5 * self._max_arrival_ns()) + 10 * SEC,
+            last + 10 * SEC,
+        )
+
+    def _max_arrival_ns(self) -> int:
+        return max(
+            (r.time for _, _, r in self.sim._heap), default=0
+        ) if self.sim._heap else 0
+
+    # ==================================================================
+    # Utilization bookkeeping
+    # ==================================================================
+    def _enter_busy(self) -> None:
+        self._busy += 1
+        self.util.set_busy(self.sim.now, self._busy)
+
+    def _leave_busy(self) -> None:
+        self._busy -= 1
+        self.util.set_busy(self.sim.now, self._busy)
+
+    # ==================================================================
+    # Arrival and dispatch
+    # ==================================================================
+    def _arrival(self, vm: PrimaryVm, req: Request) -> None:
+        latency = self.nic.deliver(
+            vm.llc, (vm.vm_id << 44) | (1 << 30), lambda: None
+        )
+        self.sim.schedule(latency, self._enqueue, vm, req)
+
+    def _enqueue(self, vm: PrimaryVm, req: Request) -> None:
+        req.ready_since_ns = self.sim.now
+        if self.per_core_steering:
+            # RSS steering with slow re-steer: the NIC hashes flows over the
+            # VM's vCPUs; the stack re-steers away from a harvested core
+            # only after ``resteer_ns`` — arrivals inside that window land
+            # on the loaned core's queue and need a buffer core or reclaim.
+            resteer = self.system.software_costs.resteer_ns
+            eligible = [
+                c
+                for c in vm.cores
+                if not (c.on_loan and self.sim.now - c.loan_start_ns > resteer)
+            ] or vm.cores
+            req.steered_core_id = eligible[vm.rr_cursor % len(eligible)].core_id
+            vm.rr_cursor += 1
+        in_hw = vm.queue.enqueue(req)
+        if not in_hw:
+            self.counters.incr("queue_overflow_spills")
+        self._work_available(vm)
+
+    def _work_available(self, vm: PrimaryVm) -> None:
+        """Ready work exists for ``vm``: dispatch, borrow, or reclaim."""
+        if not vm.queue.has_ready():
+            return
+        if not self.per_core_steering:
+            # Shared per-VM subqueue: any idle bound core serves the head.
+            idle = vm.idle_cores()
+            if idle:
+                self._start_dispatch(idle[0], vm)
+                return
+            loaned = [c for c in vm.loaned_cores() if c.state != SWITCHING]
+            if loaned:
+                self._start_reclaim(vm, loaned[0])
+            return
+
+        # Per-core steering: each ready request waits for *its* core.
+        stuck_on_loan = []
+        for core_id in vm.queue.ready_steered_cores():
+            core = self.cores[core_id]
+            if core.state == IDLE and not core.on_loan and core.guest_vm_id is None:
+                self._start_dispatch(core, vm)
+            elif core.on_loan:
+                stuck_on_loan.append(core)
+        if stuck_on_loan:
+            # A request is stranded on a harvested core. SmartHarvest's fast
+            # path: attach an emergency-buffer core; only if the buffer is
+            # exhausted does the slow reclaim start.
+            if not self._borrow_buffer_core(vm):
+                for core in stuck_on_loan:
+                    if core.state != SWITCHING:
+                        self._start_reclaim(vm, core)
+                        break
+        # Queue pressure: more ready work than attached cores while some
+        # cores are on loan — expand capacity by reclaiming.
+        available = [
+            c for c in vm.cores if not c.on_loan and c.guest_vm_id is None
+        ]
+        if vm.queue.ready_count() > len(available):
+            loaned = [c for c in vm.loaned_cores() if c.state != SWITCHING]
+            if loaned:
+                self._start_reclaim(vm, loaned[0])
+
+    def _borrow_buffer_core(self, vm: PrimaryVm) -> bool:
+        """Attach an idle buffer core from another Primary VM to ``vm``.
+
+        The buffer is small by construction: at most
+        ``emergency_buffer_cores`` may be attached as guests at once —
+        that is the whole point of it being an *emergency* buffer.
+        """
+        in_use = sum(1 for c in self.cores if c.guest_vm_id is not None)
+        if in_use >= self.system.smartharvest.emergency_buffer_cores:
+            return False
+        for donor in self.primary_vms:
+            if donor.vm_id == vm.vm_id or donor.queue.has_ready():
+                continue
+            for core in donor.cores:
+                if (
+                    core.state == IDLE
+                    and not core.on_loan
+                    and core.guest_vm_id is None
+                ):
+                    self._start_guest_dispatch(core, vm, attach=True)
+                    return True
+        return False
+
+    def _start_guest_dispatch(self, core: Core, vm: PrimaryVm, attach: bool) -> None:
+        """Dispatch one of ``vm``'s requests on a borrowed buffer core."""
+        req = vm.queue.dequeue()
+        if req is None:
+            return
+        core.state = SWITCHING
+        core.idle_cause = None
+        core.current_request = req
+        if attach:
+            core.guest_vm_id = vm.vm_id
+            delay = self.system.smartharvest.buffer_attach_ns
+            req.breakdown.reassign_ns += delay
+            self.counters.incr("buffer_borrows")
+        else:
+            delay = self.costs.dispatch_ns(self.rng.stream("costs"))
+        req.breakdown.queueing_ns += self.sim.now - req.ready_since_ns + delay
+        self.sim.schedule(delay, self._dispatch_done, core, vm, req)
+
+    def _loaned_core_ids(self, vm: PrimaryVm) -> set:
+        return {c.core_id for c in vm.cores if c.on_loan}
+
+    def _start_dispatch(self, core: Core, vm: PrimaryVm, steal: bool = False) -> None:
+        if steal:
+            # Stealing may not touch work stranded on loaned cores: the OS
+            # keeps those threads on their (descheduled) vCPU runqueues.
+            req = vm.queue.dequeue(None, exclude_steered_to=self._loaned_core_ids(vm))
+        else:
+            req = vm.queue.dequeue(core.core_id if self.per_core_steering else None)
+        if req is None:
+            return
+        core.state = SWITCHING
+        core.idle_cause = None
+        core.current_request = req
+        delay = self.costs.dispatch_ns(self.rng.stream("costs"))
+        if steal:
+            # OS load balancing: pulling work steered to a sibling core.
+            delay += self.system.software_costs.rebalance_ns
+        queue_wait = self.sim.now - req.ready_since_ns
+        req.breakdown.queueing_ns += queue_wait + delay
+        self.sim.schedule(delay, self._dispatch_done, core, vm, req)
+
+    def _dispatch_done(self, core: Core, vm: PrimaryVm, req: Request) -> None:
+        if req.context_slot is not None and self.controller is not None:
+            # Resume from I/O: restore the parked register state.
+            self.controller.context_memory.restore(req.context_slot)
+            req.context_slot = None
+        reassign, flush = core.take_pending_costs()
+        req.breakdown.reassign_ns += reassign
+        req.breakdown.flush_ns += flush
+        if req.first_start_ns is None:
+            req.first_start_ns = self.sim.now
+        core.state = BUSY
+        self._enter_busy()
+        self._run_segment(core, vm, req)
+
+    # ==================================================================
+    # Execution
+    # ==================================================================
+    def _segment_duration_ns(self, core: Core, vm: PrimaryVm, req: Request) -> int:
+        n = self.simcfg.accesses_per_segment
+        mem_rng = self.rng.stream("mem")
+        accesses = vm.memory.sample(mem_rng, n, req.private_region)
+        l2 = core.memory.l2.array
+        h0, a0 = l2.hits, l2.accesses
+        total_ns = 0
+        now = self.sim.now
+        for addr, shared, instr, write in accesses:
+            total_ns += core.memory.access(
+                addr, shared, instr, vm.llc, True, now, write
+            )
+        self.l2_primary_hits += l2.hits - h0
+        self.l2_primary_accesses += l2.accesses - a0
+        l_avg = total_ns / max(1, n)
+        seg_cpu_ns = req.seg_cpu_ns
+        refs = vm.profile.mem_refs_per_us * (seg_cpu_ns / 1000.0)
+        return seg_cpu_ns + int(l_avg * refs)
+
+    def _run_segment(self, core: Core, vm: PrimaryVm, req: Request) -> None:
+        duration = self._segment_duration_ns(core, vm, req)
+        req.breakdown.execution_ns += duration
+        self.sim.schedule(duration, self._segment_done, core, vm, req)
+
+    def _segment_done(self, core: Core, vm: PrimaryVm, req: Request) -> None:
+        req.segments_done += 1
+        core.current_request = None
+        self._leave_busy()
+        if req.blocks_remaining >= 0 and req.segments_done < req.segments_total:
+            # Block on I/O: the entry stays in the queue, marked blocked;
+            # with hardware context switching, the request's register state
+            # parks in the Request Context Memory until the response.
+            vm.queue.mark_blocked(req)
+            if self.controller is not None and self.system.flags.ctxtsw:
+                req.context_slot = self.controller.context_memory.save(
+                    SavedContext(
+                        request=req.req_id,
+                        vm_id=vm.vm_id,
+                        program_counter=req.segments_done,
+                    )
+                )
+            demand_ns = req.io_durations_ns[req.segments_done - 1]
+            rt = self.system.cluster.inter_server_rt_ns
+            observe = getattr(self.agent, "observe_block", None)
+            if observe is not None:
+                observe(vm.vm_id, demand_ns + rt)
+            self._issue_backend_call(vm, req, demand_ns, rt)
+            self._core_released(core, "block")
+        else:
+            vm.queue.complete(req)
+            req.completion_ns = self.sim.now
+            if req.measured:
+                lat = req.latency_ns()
+                self.latency[vm.name].record(lat)
+                self.latency_all.record(lat)
+                self.breakdowns.record(vm.name, req.breakdown)
+            self._completions += 1
+            if self._completions >= self._target_completions:
+                self._finished = True
+                self.sim.stop()
+            self._core_released(core, "term")
+
+    def _issue_backend_call(
+        self, vm: PrimaryVm, req: Request, demand_ns: int, rt: int
+    ) -> None:
+        """Route a blocking call to its backend server (Figure 1's Cache /
+        Database helpers): half the network RT out, queue + execute on the
+        backend, half the RT back, then the response marks the request
+        ready via the NIC path."""
+        backend = self.backends.for_service(vm.profile.name)
+
+        def respond() -> None:
+            self.sim.schedule(rt - rt // 2, self._io_complete, vm, req)
+
+        self.sim.schedule(
+            rt // 2, backend.submit, max(1, demand_ns), respond
+        )
+
+    def _io_complete(self, vm: PrimaryVm, req: Request) -> None:
+        vm.queue.mark_ready(req)
+        req.ready_since_ns = self.sim.now
+        self._work_available(vm)
+
+    def _core_released(self, core: Core, cause: str) -> None:
+        if core.guest_vm_id is not None:
+            guest = self.vms_by_id[core.guest_vm_id]
+            owner_vm = self.vms_by_id.get(core.owner_vm_id)
+            if guest.queue.has_ready() and not (
+                isinstance(owner_vm, PrimaryVm)
+                and owner_vm.queue.has_ready(
+                    core.core_id if self.per_core_steering else None
+                )
+            ):
+                # Keep serving the borrowing VM while it has work and the
+                # owner does not need the core.
+                self._start_guest_dispatch(core, guest, attach=False)
+                return
+            # Return to owner: scrub the private state (the buffer keeps
+            # cores clean; the flush runs while the core is idle).
+            core.memory.flush_private_full()
+            core.guest_vm_id = None
+            self.counters.incr("buffer_returns")
+        core.state = IDLE
+        core.idle_cause = cause
+        core.idle_since = self.sim.now
+        owner = self.vms_by_id.get(core.owner_vm_id)
+        if isinstance(owner, PrimaryVm):
+            if owner.queue.has_ready(
+                core.core_id if self.per_core_steering else None
+            ):
+                self._start_dispatch(core, owner)
+                return
+            if self.per_core_steering and owner.queue.has_ready(
+                None, exclude_steered_to=self._loaned_core_ids(owner)
+            ):
+                # Idle with work queued at a sibling (attached) core: steal
+                # it after the OS rebalance latency.
+                self._start_dispatch(core, owner, steal=True)
+                return
+            if self.agent.on_core_idle(core, cause):
+                self._start_lend(core)
+        elif isinstance(owner, HarvestVm):
+            if owner.active:
+                self._start_batch_unit(core)
+
+    # ==================================================================
+    # Lending (Primary -> Harvest)
+    # ==================================================================
+    def start_lend(self, core: Core) -> None:
+        """Public entry for agents (e.g. the SmartHarvest monitor)."""
+        if core.state != IDLE or core.on_loan or core.guest_vm_id is not None:
+            return
+        owner = self.vms_by_id.get(core.owner_vm_id)
+        if not isinstance(owner, PrimaryVm) or owner.queue.has_ready(
+            core.core_id if self.per_core_steering else None
+        ):
+            return
+        self._start_lend(core)
+
+    def _start_lend(self, core: Core) -> None:
+        owner = self.vms_by_id[core.owner_vm_id]
+        cost = self.costs.lend_cost(core.memory)
+        core.state = SWITCHING
+        core.on_loan = True
+        core.loan_start_ns = self.sim.now
+        self.counters.incr("lends")
+        if self.controller is not None:
+            self.controller.qm_for(owner.vm_id).lend_core(core.core_id)
+        self.sim.schedule(cost.critical_ns, self._lend_done, core, cost.flush)
+
+    def _pick_harvest_vm(self) -> HarvestVm:
+        """Round-robin lend target among the server's Harvest VMs."""
+        vm = self.harvest_vms[self._lend_rr % len(self.harvest_vms)]
+        self._lend_rr += 1
+        return vm
+
+    def _harvest_vm_of(self, core: Core) -> HarvestVm:
+        """The Harvest VM whose work is (or will be) running on ``core``."""
+        vm = self.vms_by_id.get(core.running_vm_id)
+        if isinstance(vm, HarvestVm):
+            return vm
+        owner = self.vms_by_id.get(core.owner_vm_id)
+        if isinstance(owner, HarvestVm):
+            return owner
+        return self.harvest_vm
+
+    def _lend_done(self, core: Core, flush) -> None:
+        flushed = flush()
+        self.counters.incr("lend_flushed_entries", flushed)
+        target = self._pick_harvest_vm()
+        core.running_vm_id = target.vm_id
+        self._load_vm_state(core, target.vm_id)
+        owner = self.vms_by_id[core.owner_vm_id]
+        if owner.queue.has_ready(
+            core.core_id if self.per_core_steering else None
+        ):
+            # Work arrived during the transition: bounce straight back.
+            self._start_reclaim(owner, core)
+            return
+        if target.active:
+            self._start_batch_unit(core)
+        else:
+            core.state = IDLE
+            core.idle_cause = None
+
+    # ==================================================================
+    # Batch execution on the Harvest VM
+    # ==================================================================
+    def _batch_unit_duration_ns(self, core: Core, hvm: HarvestVm) -> int:
+        job = hvm.job
+        n = max(8, self.simcfg.accesses_per_segment // 2)
+        mem_rng = self.rng.stream("batchmem")
+        accesses = hvm.memory.sample(mem_rng, n)
+        total_ns = 0
+        now = self.sim.now
+        is_primary_view = not core.on_loan  # own cores see full structures
+        for addr, shared, instr, write in accesses:
+            total_ns += core.memory.access(
+                addr, shared, instr, hvm.llc, is_primary_view, now, write
+            )
+        l_avg = total_ns / n
+        cpu_ns = int(job.unit_us * 1000)
+        refs = job.mem_refs_per_us * job.unit_us
+        base = cpu_ns + int(l_avg * refs)
+        # Sublinear scaling: coordination costs grow with active batch cores.
+        active = sum(
+            1
+            for c in self.cores
+            if c.state == BUSY and c.batch_event is not None
+        )
+        return int(base * (1.0 + job.sync_overhead * max(0, active)))
+
+    def _start_batch_unit(self, core: Core) -> None:
+        hvm = self._harvest_vm_of(core)
+        if not hvm.active:
+            core.state = IDLE
+            return
+        unit = hvm.next_unit()
+        if unit.context_slot is not None and self.controller is not None:
+            # Hardware context switch: restore the preempted vCPU state
+            # from the Request Context Memory (Section 4.1.4).
+            self.controller.context_memory.restore(unit.context_slot)
+            unit.context_slot = None
+        duration = int(
+            self._batch_unit_duration_ns(core, hvm) * unit.remaining_frac
+        )
+        duration = max(1, duration)
+        core.state = BUSY
+        core.batch_unit_start_ns = self.sim.now
+        core.batch_unit_duration_ns = duration
+        core.batch_unit_remaining_tag = unit.remaining_frac
+        self._enter_busy()
+        core.batch_event = self.sim.schedule(
+            duration, self._batch_unit_done, core, unit.remaining_frac
+        )
+
+    def _batch_unit_done(self, core: Core, frac: float) -> None:
+        self._harvest_vm_of(core).units_completed += frac
+        core.batch_event = None
+        self._leave_busy()
+        owner = self.vms_by_id.get(core.owner_vm_id)
+        if (
+            core.on_loan
+            and isinstance(owner, PrimaryVm)
+            and owner.queue.has_ready(
+                core.core_id if self.per_core_steering else None
+            )
+        ):
+            self._start_reclaim(owner, core)
+            return
+        self._start_batch_unit(core)
+
+    def _load_vm_state(self, core: Core, vm_id: int) -> None:
+        """Load the VM State Register Set of ``vm_id`` onto the core
+        (hardware systems: the QM ships the set with the reassignment)."""
+        if self.controller is None:
+            return
+        core.loaded_cr3 = self.controller.qm_for(vm_id).state_registers.read("CR3")
+
+    # ==================================================================
+    # Reclamation (Harvest -> Primary)
+    # ==================================================================
+    def _start_reclaim(self, vm: PrimaryVm, core: Core) -> None:
+        """Interrupt a loaned core and return it to its Primary VM."""
+        if core.batch_event is not None:
+            # Preempt the in-flight batch unit.
+            core.batch_event.cancel()
+            core.batch_event = None
+            elapsed = self.sim.now - core.batch_unit_start_ns
+            duration = max(1, core.batch_unit_duration_ns)
+            done_frac = min(1.0, elapsed / duration)
+            started_frac = core.batch_unit_remaining_tag or 1.0
+            remaining = max(0.0, started_frac * (1.0 - done_frac))
+            preserved = self.system.flags.ctxtsw
+            hvm = self._harvest_vm_of(core)
+            if preserved:
+                hvm.units_completed += started_frac - remaining
+                slot = None
+                if remaining > 0 and self.controller is not None:
+                    # Save the preempted vCPU's state in hardware
+                    # (Figure 8c step 4); restored when the unit resumes.
+                    slot = self.controller.context_memory.save(
+                        SavedContext(
+                            request=f"batch@core{core.core_id}",
+                            vm_id=hvm.vm_id,
+                            program_counter=int(remaining * 1e6),
+                        )
+                    )
+                hvm.return_partial(
+                    0.0 if remaining <= 0 else remaining, True, 0, slot
+                )
+            else:
+                hvm.return_partial(started_frac, False, int(elapsed))
+            self._leave_busy()
+        core.state = SWITCHING
+        core.reclaim_in_flight = True
+        self.counters.incr("reclaims")
+        cost = self.costs.reclaim_cost(core.memory, self.rng.stream("costs"))
+        core.pending_reassign_ns = cost.reassign_ns
+        core.pending_flush_ns = cost.flush_ns
+        self.sim.schedule(cost.critical_ns, self._reclaim_done, core, cost.flush)
+
+    def _reclaim_done(self, core: Core, flush) -> None:
+        flushed = flush()
+        self.counters.incr("reclaim_flushed_entries", flushed)
+        core.on_loan = False
+        core.reclaim_in_flight = False
+        core.running_vm_id = core.owner_vm_id
+        self._load_vm_state(core, core.owner_vm_id)
+        owner = self.vms_by_id[core.owner_vm_id]
+        if self.controller is not None:
+            qm = self.controller.qm_for(owner.vm_id)
+            if core.core_id in qm.on_loan:
+                qm.reclaim_core(core.core_id)
+        # Back in the Primary VM: dispatch if work remains, else the core is
+        # idle (and, per Section 4.1.4, immediately lendable again).
+        self._core_released(core, "term")
+
+    # ==================================================================
+    # Results
+    # ==================================================================
+    def p99_ms(self, service: Optional[str] = None) -> float:
+        rec = self.latency_all if service is None else self.latency[service]
+        return rec.p99() / 1e6
+
+    def p50_ms(self, service: Optional[str] = None) -> float:
+        rec = self.latency_all if service is None else self.latency[service]
+        return rec.p50() / 1e6
+
+    def average_busy_cores(self) -> float:
+        return self.util.average_busy(self.end_ns)
+
+    def batch_throughput_per_s(self) -> float:
+        total = sum(h.units_completed for h in self.harvest_vms)
+        return total / (self.end_ns / SEC)
+
+    def l2_primary_hit_rate(self) -> float:
+        if self.l2_primary_accesses == 0:
+            return 0.0
+        return self.l2_primary_hits / self.l2_primary_accesses

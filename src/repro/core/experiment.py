@@ -1,0 +1,119 @@
+"""Experiment driver: build a system, run servers, summarize results.
+
+This is the public entry point a downstream user touches::
+
+    from repro import SystemKind, SimulationConfig, run_server
+    result = run_server(build_system(SystemKind.HARDHARVEST_BLOCK),
+                        SimulationConfig(requests_per_service=1000))
+    print(result.avg_p99_ms())
+
+``run_cluster`` reproduces the paper's 8-server setup: servers are
+independent (microservices never talk across servers, Section 5), each
+hosting all eight Primary services and one Harvest VM with a *different*
+batch application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.server import ServerSimulation
+from repro.config import SimulationConfig, SystemConfig
+from repro.core.metrics import ClusterResult, ServerResult
+from repro.sim.units import SEC
+from repro.workloads.batch import BATCH_JOBS, BatchJobProfile
+
+
+def summarize(sim: ServerSimulation) -> ServerResult:
+    """Extract the figure-facing metrics from a completed run."""
+    p99 = {name: rec.p99() / 1e6 for name, rec in sim.latency.items()}
+    p50 = {name: rec.p50() / 1e6 for name, rec in sim.latency.items()}
+    mean = {name: rec.mean() / 1e6 for name, rec in sim.latency.items()}
+    breakdown = {key: sim.breakdowns.mean(key) for key in sim.breakdowns.keys()}
+    return ServerResult(
+        system=sim.system.name,
+        batch_job=sim.harvest_vm.name,
+        p99_ms=p99,
+        p50_ms=p50,
+        mean_ms=mean,
+        breakdown=breakdown,
+        avg_busy_cores=sim.average_busy_cores(),
+        batch_units_per_s=sim.batch_throughput_per_s(),
+        l2_hit_rate=sim.l2_primary_hit_rate(),
+        counters=sim.counters.as_dict(),
+        simulated_seconds=sim.end_ns / SEC,
+    )
+
+
+def run_server(
+    system: SystemConfig,
+    simcfg: Optional[SimulationConfig] = None,
+    batch_job: Optional[BatchJobProfile] = None,
+    server_index: int = 0,
+) -> ServerResult:
+    """Simulate one server to completion and summarize it."""
+    sim = ServerSimulation(system, simcfg or SimulationConfig(), batch_job, server_index)
+    sim.run()
+    return summarize(sim)
+
+
+def run_server_raw(
+    system: SystemConfig,
+    simcfg: Optional[SimulationConfig] = None,
+    batch_job: Optional[BatchJobProfile] = None,
+    server_index: int = 0,
+) -> ServerSimulation:
+    """Like :func:`run_server` but returns the live simulation object
+    (for experiments that inspect caches, traces, or queues)."""
+    sim = ServerSimulation(system, simcfg or SimulationConfig(), batch_job, server_index)
+    sim.run()
+    return sim
+
+
+def _run_one_server(args) -> ServerResult:
+    """Module-level worker so cluster runs can use process pools."""
+    system, simcfg, job, index = args
+    return run_server(system, simcfg, job, server_index=index)
+
+
+def run_cluster(
+    system: SystemConfig,
+    simcfg: Optional[SimulationConfig] = None,
+    batch_jobs: Optional[Sequence[BatchJobProfile]] = None,
+    parallel: bool = False,
+) -> ClusterResult:
+    """Simulate ``simcfg.servers_to_simulate`` independent servers.
+
+    Server ``i`` runs batch job ``i`` (mod 8), mirroring the paper's
+    one-batch-application-per-server cluster — servers never communicate
+    (Section 5), which is also why ``parallel=True`` can farm them out to
+    a process pool (exactly as the authors parallelized their SST runs)
+    without changing any result.
+    """
+    simcfg = simcfg or SimulationConfig()
+    jobs = list(batch_jobs or BATCH_JOBS)
+    work = [
+        (system, simcfg, jobs[i % len(jobs)], i)
+        for i in range(simcfg.servers_to_simulate)
+    ]
+    result = ClusterResult(system=system.name)
+    if parallel and len(work) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(8, len(work))) as pool:
+            result.servers.extend(pool.map(_run_one_server, work))
+    else:
+        result.servers.extend(_run_one_server(w) for w in work)
+    return result
+
+
+def run_systems(
+    systems: Dict[str, SystemConfig],
+    simcfg: Optional[SimulationConfig] = None,
+    batch_job: Optional[BatchJobProfile] = None,
+) -> Dict[str, ServerResult]:
+    """Run several systems on the identical workload (same seed) and return
+    results keyed by system name — the shape every comparison figure needs."""
+    return {
+        name: run_server(cfg, simcfg, batch_job) for name, cfg in systems.items()
+    }

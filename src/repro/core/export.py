@@ -1,0 +1,99 @@
+"""Result export: write experiment results as CSV or JSON artifacts.
+
+Downstream users typically post-process results (plotting, regression
+tracking); these helpers give them stable, flat file formats:
+
+* :func:`result_to_json` / :func:`write_json` — full nested result.
+* :func:`latency_rows` / :func:`write_latency_csv` — one row per
+  (system, service) with p50/p99/mean.
+* :func:`write_samples_csv` — raw latency samples from a live simulation
+  (for CDFs and custom percentiles).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List
+
+from repro.cluster.server import ServerSimulation
+from repro.core.metrics import ServerResult
+
+
+def result_to_json(result: ServerResult) -> Dict:
+    """Flatten a :class:`ServerResult` into JSON-serializable types."""
+    return {
+        "system": result.system,
+        "batch_job": result.batch_job,
+        "simulated_seconds": result.simulated_seconds,
+        "avg_busy_cores": result.avg_busy_cores,
+        "batch_units_per_s": result.batch_units_per_s,
+        "l2_hit_rate": result.l2_hit_rate,
+        "latency_ms": {
+            svc: {
+                "p50": result.p50_ms[svc],
+                "p99": result.p99_ms[svc],
+                "mean": result.mean_ms[svc],
+            }
+            for svc in result.p99_ms
+        },
+        "breakdown_ms": {
+            svc: {
+                "reassign": b.reassign_ns / 1e6,
+                "flush": b.flush_ns / 1e6,
+                "execution": b.execution_ns / 1e6,
+                "queueing": b.queueing_ns / 1e6,
+            }
+            for svc, b in result.breakdown.items()
+        },
+        "counters": dict(result.counters),
+    }
+
+
+def write_json(path: str, results: Iterable[ServerResult]) -> None:
+    with open(path, "w") as fh:
+        json.dump([result_to_json(r) for r in results], fh, indent=2)
+
+
+def latency_rows(results: Iterable[ServerResult]) -> List[Dict]:
+    """One flat row per (system, service)."""
+    rows = []
+    for result in results:
+        for svc in result.p99_ms:
+            rows.append(
+                {
+                    "system": result.system,
+                    "service": svc,
+                    "p50_ms": result.p50_ms[svc],
+                    "p99_ms": result.p99_ms[svc],
+                    "mean_ms": result.mean_ms[svc],
+                }
+            )
+    return rows
+
+
+def write_latency_csv(path: str, results: Iterable[ServerResult]) -> None:
+    rows = latency_rows(results)
+    if not rows:
+        raise ValueError("no results to export")
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_samples_csv(path: str, sim: ServerSimulation) -> int:
+    """Dump raw per-request latency samples (ns) from a live simulation.
+
+    Returns the number of samples written. Use :func:`run_server_raw` to
+    keep the simulation object.
+    """
+    total = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["service", "latency_ns"])
+        for name, recorder in sim.latency.items():
+            for sample in recorder.samples():
+                writer.writerow([name, int(sample)])
+                total += 1
+    return total

@@ -1,0 +1,80 @@
+"""Result containers and aggregation helpers for experiments.
+
+The paper reports per-service P99/median latency (Figures 11/16), averages
+across services, Harvest VM throughput normalized to NoHarvest (Figure 17),
+mean busy cores (Section 6.7), L2 hit rates (Figure 14), and per-request
+time breakdowns (Figure 6). These containers hold exactly those views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.stats import Breakdown
+
+
+@dataclass
+class ServerResult:
+    """Summary of one simulated server under one system."""
+
+    system: str
+    batch_job: str
+    p99_ms: Dict[str, float]
+    p50_ms: Dict[str, float]
+    mean_ms: Dict[str, float]
+    breakdown: Dict[str, Breakdown]
+    avg_busy_cores: float
+    batch_units_per_s: float
+    l2_hit_rate: float
+    counters: Dict[str, int]
+    simulated_seconds: float
+
+    def avg_p99_ms(self) -> float:
+        return sum(self.p99_ms.values()) / len(self.p99_ms)
+
+    def avg_p50_ms(self) -> float:
+        return sum(self.p50_ms.values()) / len(self.p50_ms)
+
+
+@dataclass
+class ClusterResult:
+    """One system across the simulated servers (different batch job each)."""
+
+    system: str
+    servers: List[ServerResult] = field(default_factory=list)
+
+    def avg_p99_ms(self) -> float:
+        return sum(s.avg_p99_ms() for s in self.servers) / len(self.servers)
+
+    def avg_busy_cores(self) -> float:
+        return sum(s.avg_busy_cores for s in self.servers) / len(self.servers)
+
+    def throughput_by_job(self) -> Dict[str, float]:
+        return {s.batch_job: s.batch_units_per_s for s in self.servers}
+
+    def p99_by_service(self) -> Dict[str, float]:
+        """Mean per-service P99 across servers."""
+        services = self.servers[0].p99_ms.keys()
+        return {
+            svc: sum(s.p99_ms[svc] for s in self.servers) / len(self.servers)
+            for svc in services
+        }
+
+
+def normalize(values: Dict[str, float], baseline: Dict[str, float]) -> Dict[str, float]:
+    """Element-wise ratio ``values / baseline`` (Figure 17 normalization)."""
+    out: Dict[str, float] = {}
+    for key, value in values.items():
+        base = baseline.get(key)
+        if base is None or base == 0:
+            raise ValueError(f"no baseline for {key!r}")
+        out[key] = value / base
+    return out
+
+
+def speedup(baseline_ms: float, new_ms: float) -> float:
+    """How many times lower ``new_ms`` is than ``baseline_ms``."""
+    if new_ms <= 0:
+        raise ValueError(f"non-positive latency {new_ms}")
+    return baseline_ms / new_ms

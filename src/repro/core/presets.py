@@ -1,0 +1,298 @@
+"""System presets: the five evaluated architectures, the motivational
+configurations of Section 3, and the ablation points of Figures 12/13/15.
+
+Every preset is a :class:`~repro.config.SystemConfig`; anything an
+experiment varies beyond these (LLC size, eviction-candidate fraction,
+cache scaling) is applied with :func:`dataclasses.replace` on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.config import (
+    FlushScope,
+    HarvestTrigger,
+    OptimizationFlags,
+    PartitionConfig,
+    ReplacementKind,
+    SoftwareCosts,
+    SystemConfig,
+    SystemKind,
+)
+
+
+def _hw_partition(
+    replacement: ReplacementKind = ReplacementKind.HARDHARVEST,
+    harvest_fraction: float = 0.5,
+    candidates: float = 0.75,
+) -> PartitionConfig:
+    return PartitionConfig(
+        enabled=True,
+        harvest_fraction=harvest_fraction,
+        eviction_candidates_fraction=candidates,
+        replacement=replacement,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The five evaluated systems (Section 5).
+# ---------------------------------------------------------------------------
+def noharvest() -> SystemConfig:
+    """Conventional system: no core harvesting; many cores stay idle."""
+    return SystemConfig(
+        name="NoHarvest",
+        trigger=HarvestTrigger.NEVER,
+        flush_scope=FlushScope.FULL,
+        software_costs=SoftwareCosts.optimized(),
+    )
+
+
+def harvest_term() -> SystemConfig:
+    """SmartHarvest-style software harvesting on request termination [88]."""
+    return SystemConfig(
+        name="Harvest-Term",
+        trigger=HarvestTrigger.ON_TERMINATION,
+        flush_scope=FlushScope.FULL,
+        software_costs=SoftwareCosts.optimized(),
+    )
+
+
+def harvest_block() -> SystemConfig:
+    """Aggressive software harvesting: also steals cores blocked on I/O."""
+    return replace(
+        harvest_term(), name="Harvest-Block", trigger=HarvestTrigger.ON_BLOCK
+    )
+
+
+def hardharvest_term() -> SystemConfig:
+    """HardHarvest harvesting only on request termination."""
+    return SystemConfig(
+        name="HardHarvest-Term",
+        trigger=HarvestTrigger.ON_TERMINATION,
+        hardware_scheduling=True,
+        flags=OptimizationFlags.all(),
+        flush_scope=FlushScope.HARVEST_REGION,
+        partition=_hw_partition(),
+    )
+
+
+def hardharvest_block() -> SystemConfig:
+    """The paper's proposal: HardHarvest, harvesting on block too."""
+    return replace(
+        hardharvest_term(),
+        name="HardHarvest-Block",
+        trigger=HarvestTrigger.ON_BLOCK,
+    )
+
+
+_SYSTEMS = {
+    SystemKind.NOHARVEST: noharvest,
+    SystemKind.HARVEST_TERM: harvest_term,
+    SystemKind.HARVEST_BLOCK: harvest_block,
+    SystemKind.HARDHARVEST_TERM: hardharvest_term,
+    SystemKind.HARDHARVEST_BLOCK: hardharvest_block,
+}
+
+
+def build_system(kind: SystemKind) -> SystemConfig:
+    """Preset for one of the five evaluated architectures."""
+    return _SYSTEMS[kind]()
+
+
+def all_systems() -> Dict[str, SystemConfig]:
+    """All five evaluated systems, keyed by display name, in paper order."""
+    return {cfg().name: cfg() for cfg in _SYSTEMS.values()}
+
+
+# ---------------------------------------------------------------------------
+# Motivational configurations (Section 3, Figures 4-6).
+# ---------------------------------------------------------------------------
+def fig4_no_move() -> SystemConfig:
+    """No core movement at all; the Figure 4 baseline."""
+    return replace(noharvest(), name="No-Move", batch_active=False)
+
+
+def fig4_kvm(trigger: HarvestTrigger) -> SystemConfig:
+    """KVM-cost reassignment, idle Harvest VM, no flushing (Figure 4)."""
+    name = "KVM-Term" if trigger is HarvestTrigger.ON_TERMINATION else "KVM-Block"
+    return SystemConfig(
+        name=name,
+        trigger=trigger,
+        flush_scope=FlushScope.NONE,
+        software_costs=SoftwareCosts.kvm(),
+        batch_active=False,
+    )
+
+
+def fig4_opt(trigger: HarvestTrigger) -> SystemConfig:
+    """SmartHarvest-optimized reassignment latencies (Figure 4)."""
+    name = "Opt-Term" if trigger is HarvestTrigger.ON_TERMINATION else "Opt-Block"
+    return SystemConfig(
+        name=name,
+        trigger=trigger,
+        flush_scope=FlushScope.NONE,
+        software_costs=SoftwareCosts.optimized(),
+        batch_active=False,
+    )
+
+
+def fig5_no_flush() -> SystemConfig:
+    """Figure 5 baseline: no flushing, no reassignment overhead."""
+    free = replace(
+        SoftwareCosts.optimized(), detach_attach_ns=0, context_switch_ns=0
+    )
+    return SystemConfig(
+        name="No-Flush",
+        trigger=HarvestTrigger.ON_BLOCK,
+        flush_scope=FlushScope.NONE,
+        software_costs=free,
+        batch_active=False,
+    )
+
+
+def fig5_flush(trigger: HarvestTrigger) -> SystemConfig:
+    """Flushing only (zero-cost reassignment): Flush-Term / Flush-Block."""
+    name = "Flush-Term" if trigger is HarvestTrigger.ON_TERMINATION else "Flush-Block"
+    free = replace(
+        SoftwareCosts.optimized(), detach_attach_ns=0, context_switch_ns=0
+    )
+    return SystemConfig(
+        name=name,
+        trigger=trigger,
+        flush_scope=FlushScope.FULL,
+        software_costs=free,
+        batch_active=False,
+    )
+
+
+def fig5_harvest(trigger: HarvestTrigger) -> SystemConfig:
+    """Flushing plus optimized reassignment: the true software cost."""
+    name = (
+        "Harvest-Term" if trigger is HarvestTrigger.ON_TERMINATION else "Harvest-Block"
+    )
+    return SystemConfig(
+        name=name,
+        trigger=trigger,
+        flush_scope=FlushScope.FULL,
+        software_costs=SoftwareCosts.optimized(),
+        batch_active=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (Figures 12, 13, 15).
+# ---------------------------------------------------------------------------
+def fig12_step(
+    sched: bool = False,
+    queue: bool = False,
+    ctxtsw: bool = False,
+    part: bool = False,
+    flush: bool = False,
+    repl: bool = False,
+    name: str = "",
+) -> SystemConfig:
+    """Harvest-Block plus a subset of HardHarvest mechanisms.
+
+    Mirrors Figure 12's cumulative construction: each flag replaces the
+    corresponding software mechanism with its hardware counterpart.
+    """
+    flags = OptimizationFlags(
+        sched=sched, queue=queue, ctxtsw=ctxtsw, part=part, flush=flush, repl=repl
+    )
+    partition = (
+        _hw_partition(
+            ReplacementKind.HARDHARVEST if repl else ReplacementKind.LRU
+        )
+        if part
+        else PartitionConfig()
+    )
+    scope = FlushScope.HARVEST_REGION if part else FlushScope.FULL
+    return SystemConfig(
+        name=name or "Harvest-Block+",
+        trigger=HarvestTrigger.ON_BLOCK,
+        hardware_scheduling=sched,
+        flags=flags,
+        flush_scope=scope,
+        software_costs=SoftwareCosts.optimized(),
+        partition=partition,
+    )
+
+
+def fig12_ladder() -> Dict[str, SystemConfig]:
+    """The cumulative optimization ladder of Figure 12, in order."""
+    return {
+        "Harvest-Term": harvest_term(),
+        "Harvest-Block": harvest_block(),
+        "+Sched": fig12_step(sched=True, name="+Sched"),
+        "+Queue": fig12_step(sched=True, queue=True, name="+Queue"),
+        "+CtxtSw": fig12_step(sched=True, queue=True, ctxtsw=True, name="+CtxtSw"),
+        "+Part": fig12_step(
+            sched=True, queue=True, ctxtsw=True, part=True, name="+Part"
+        ),
+        "+Flush": fig12_step(
+            sched=True, queue=True, ctxtsw=True, part=True, flush=True, name="+Flush"
+        ),
+        "HardHarvest": fig12_step(
+            sched=True,
+            queue=True,
+            ctxtsw=True,
+            part=True,
+            flush=True,
+            repl=True,
+            name="HardHarvest",
+        ),
+    }
+
+
+def fig13_points() -> Dict[str, SystemConfig]:
+    """Figure 13: CtxtSw-only, Sched-only, and both, over Harvest-Block."""
+    return {
+        "HarvestBlock": harvest_block(),
+        "+CtxtSw": fig12_step(ctxtsw=True, name="+CtxtSw"),
+        "+Sched": fig12_step(sched=True, name="+Sched"),
+        "+CtxtSw&Sched": fig12_step(sched=True, ctxtsw=True, name="+CtxtSw&Sched"),
+    }
+
+
+def fig15_step(
+    sched: bool = False,
+    queue: bool = False,
+    ctxtsw: bool = False,
+    repl: bool = False,
+    name: str = "",
+) -> SystemConfig:
+    """NoHarvest plus HardHarvest mechanisms (no harvesting, Figure 15).
+
+    Partitioning/flushing are irrelevant without harvesting; the replacement
+    policy runs un-partitioned (it still prefers evicting private entries).
+    """
+    flags = OptimizationFlags(sched=sched, queue=queue, ctxtsw=ctxtsw, repl=repl)
+    partition = (
+        PartitionConfig(enabled=False, replacement=ReplacementKind.HARDHARVEST)
+        if repl
+        else PartitionConfig()
+    )
+    return SystemConfig(
+        name=name or "NoHarvest+",
+        trigger=HarvestTrigger.NEVER,
+        hardware_scheduling=sched,
+        flags=flags,
+        flush_scope=FlushScope.FULL,
+        software_costs=SoftwareCosts.optimized(),
+        partition=partition,
+    )
+
+
+def fig15_ladder() -> Dict[str, SystemConfig]:
+    """The cumulative optimization ladder of Figure 15, in order."""
+    return {
+        "NoHarvest": noharvest(),
+        "+Sched": fig15_step(sched=True, name="+Sched"),
+        "+Queue": fig15_step(sched=True, queue=True, name="+Queue"),
+        "+CtxtSw": fig15_step(sched=True, queue=True, ctxtsw=True, name="+CtxtSw"),
+        "+ReplPolicy": fig15_step(
+            sched=True, queue=True, ctxtsw=True, repl=True, name="+ReplPolicy"
+        ),
+    }

@@ -1,0 +1,93 @@
+"""Config serialization: dump/load a :class:`SystemConfig` and
+:class:`SimulationConfig` as JSON so experiments are reproducible artifacts.
+
+The encoder walks nested (frozen) dataclasses and enums; the decoder
+rebuilds them with full validation (dataclass ``__post_init__`` runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from typing import Any, Dict, Type, TypeVar
+
+from repro.config import SimulationConfig, SystemConfig
+
+T = TypeVar("T")
+
+
+def to_dict(obj: Any) -> Any:
+    """Recursively encode dataclasses and enums into plain JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = to_dict(getattr(obj, f.name))
+        return out
+    if isinstance(obj, Enum):
+        return {"__enum__": type(obj).__name__, "value": obj.value}
+    if isinstance(obj, (list, tuple)):
+        return [to_dict(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: to_dict(v) for k, v in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def _registry() -> Dict[str, type]:
+    """All dataclass/enum types reachable from the config module."""
+    import repro.config as cfg
+
+    out: Dict[str, type] = {}
+    for name in dir(cfg):
+        candidate = getattr(cfg, name)
+        if isinstance(candidate, type) and (
+            dataclasses.is_dataclass(candidate) or issubclass(candidate, Enum)
+        ):
+            out[name] = candidate
+    return out
+
+
+def from_dict(data: Any) -> Any:
+    """Inverse of :func:`to_dict`."""
+    if isinstance(data, dict):
+        if "__enum__" in data:
+            enum_type = _registry().get(data["__enum__"])
+            if enum_type is None:
+                raise ValueError(f"unknown enum {data['__enum__']!r}")
+            return enum_type(data["value"])
+        if "__type__" in data:
+            cls = _registry().get(data["__type__"])
+            if cls is None:
+                raise ValueError(f"unknown config type {data['__type__']!r}")
+            kwargs = {
+                k: from_dict(v) for k, v in data.items() if k != "__type__"
+            }
+            return cls(**kwargs)
+        return {k: from_dict(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return [from_dict(v) for v in data]
+    return data
+
+
+def dumps(system: SystemConfig, simcfg: SimulationConfig = None) -> str:
+    """Serialize an experiment description to a JSON string."""
+    payload: Dict[str, Any] = {"system": to_dict(system)}
+    if simcfg is not None:
+        payload["simulation"] = to_dict(simcfg)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def loads(text: str):
+    """Deserialize; returns (SystemConfig, SimulationConfig-or-None)."""
+    payload = json.loads(text)
+    system = from_dict(payload["system"])
+    if not isinstance(system, SystemConfig):
+        raise ValueError("payload 'system' is not a SystemConfig")
+    simcfg = None
+    if "simulation" in payload:
+        simcfg = from_dict(payload["simulation"])
+        if not isinstance(simcfg, SimulationConfig):
+            raise ValueError("payload 'simulation' is not a SimulationConfig")
+    return system, simcfg

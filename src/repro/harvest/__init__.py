@@ -1,0 +1,17 @@
+"""Harvesting policies: cost model and lending agents."""
+
+from repro.harvest.adaptive import AdaptiveAgent
+from repro.harvest.base import HarvestAgent, NoHarvestAgent
+from repro.harvest.costs import CostModel, TransitionCost
+from repro.harvest.hardware import HardwareAgent
+from repro.harvest.software import SmartHarvestAgent
+
+__all__ = [
+    "HarvestAgent",
+    "NoHarvestAgent",
+    "HardwareAgent",
+    "AdaptiveAgent",
+    "SmartHarvestAgent",
+    "CostModel",
+    "TransitionCost",
+]

@@ -1,0 +1,150 @@
+"""Transition cost model: what each scheduling/reassignment step costs under
+a given :class:`~repro.config.SystemConfig`.
+
+This is where the paper's cost structure lives, decomposed along the same
+axes as its ablation (Figures 12/13/15):
+
+* ``sched``  — hypervisor detach/attach + polling discovery vs QM hardware
+  notification (Section 4.1.1: the hardware bypasses the hypervisor call and
+  the global lock, and alerts cores instantly).
+* ``queue``  — memory-mapped queue accesses vs dedicated SRAM queues.
+* ``ctxtsw`` — software VM/request context switching vs the Request Context
+  Memory (µs vs tens of ns, Section 4.1.1).
+* ``part`` + ``flush`` — what must be flushed on a cross-VM transition and
+  whether it sits on the critical path (Section 4.2.1).
+
+All "latency" methods return integer ns for the *critical path* of the
+transition; the flush methods also return a callable that applies the
+invalidation to the core's cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.config import FlushScope, SystemConfig
+from repro.mem.hierarchy import CoreMemory
+from repro.sim.units import cycles_to_ns
+
+
+@dataclass(frozen=True)
+class TransitionCost:
+    """Critical-path costs (split for Figure-6 breakdowns) plus the flush
+    to apply at transition time."""
+
+    reassign_ns: int
+    flush_ns: int
+    flush: Callable[[], int]  # applies invalidation; returns entries flushed
+
+    @property
+    def critical_ns(self) -> int:
+        return self.reassign_ns + self.flush_ns
+
+
+def _no_flush() -> int:
+    return 0
+
+
+class CostModel:
+    """Computes per-event costs for one system configuration."""
+
+    def __init__(self, system: SystemConfig):
+        self.system = system
+        self.flags = system.flags
+        self.sw = system.software_costs
+        self.hw = system.hardware_costs
+        self.fl = system.flush_costs
+        self.freq_ghz = system.hierarchy.freq_ghz
+        # Share of private-cache state in the harvest region: sets the cost
+        # of flushing the region without efficient flush hardware.
+        self.region_fraction = (
+            system.partition.harvest_fraction if system.partition.enabled else 1.0
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch: an idle core picks up a request of its own VM.
+    # ------------------------------------------------------------------
+    def dispatch_ns(self, rng: np.random.Generator) -> int:
+        """Queue access + work discovery + request context load."""
+        queue = self.hw.queue_access_ns if self.flags.queue else self.sw.queue_access_ns
+        if self.flags.sched:
+            sched = self.hw.notify_ns
+        else:
+            # Polling/OS-wakeup discovery delay: exponential around the
+            # configured mean (a core notices ready work only when it polls).
+            sched = int(rng.exponential(self.sw.dispatch_delay_ns))
+        ctx = self.hw.reassign_hw_ctx_ns if self.flags.ctxtsw else self.sw.request_switch_ns
+        return queue + sched + ctx
+
+    # ------------------------------------------------------------------
+    # Cross-VM reassignment cost (shared by lend and reclaim).
+    # ------------------------------------------------------------------
+    def _reassign_ns(self) -> int:
+        if self.flags.sched and self.flags.ctxtsw:
+            return self.hw.reassign_hw_ctx_ns  # tens of ns
+        if self.flags.sched:
+            # Hardware scheduling but software context save/restore: a few µs
+            # (Section 4.1.1's first estimate).
+            return self.hw.reassign_ns
+        detach = self.sw.detach_attach_ns
+        ctx = self.hw.reassign_hw_ctx_ns if self.flags.ctxtsw else self.sw.context_switch_ns
+        return detach + ctx
+
+    def _region_flush_ns(self) -> int:
+        """Critical-path cost of invalidating the harvest region."""
+        if self.flags.flush:
+            return cycles_to_ns(self.fl.region_flush_cycles, self.freq_ghz)
+        # Without efficient flush hardware, flushing the region costs a
+        # proportional share of the wbinvd-style full flush.
+        return int(self.fl.full_flush_ns * self.region_fraction)
+
+    # ------------------------------------------------------------------
+    def lend_cost(self, memory: CoreMemory) -> TransitionCost:
+        """Primary -> Harvest transition.
+
+        The Harvest VM may not start until the worst-case flush time has
+        elapsed (timing side-channel defense, Section 4.2.1), so the flush
+        is always on the *harvest* VM's critical path. This does not affect
+        Primary tail latency.
+        """
+        scope = self.system.flush_scope
+        if scope is FlushScope.NONE:
+            flush_ns, flush_fn = 0, _no_flush
+        elif scope is FlushScope.FULL:
+            flush_ns, flush_fn = self.fl.full_flush_ns, memory.flush_private_full
+        else:
+            flush_ns, flush_fn = self._region_flush_ns(), memory.flush_harvest_region
+        return TransitionCost(self._reassign_ns(), flush_ns, flush_fn)
+
+    def reclaim_cost(
+        self, memory: CoreMemory, rng: Optional[np.random.Generator] = None
+    ) -> TransitionCost:
+        """Harvest -> Primary transition (the tail-latency critical one).
+
+        Without hardware scheduling, the user-space agent must first *detect*
+        that the Primary VM needs its core back — queue sampling at software
+        granularity adds an exponential detection delay. With HardHarvest,
+        the QM interrupts the loaned core directly (Section 4.1.5) and the
+        background harvest-region flush is off the critical path (4.2.1).
+        """
+        scope = self.system.flush_scope
+        if scope is FlushScope.NONE:
+            flush_ns, flush_fn = 0, _no_flush
+        elif scope is FlushScope.FULL:
+            flush_ns, flush_fn = self.fl.full_flush_ns, memory.flush_private_full
+        else:
+            flush_fn = memory.flush_harvest_region
+            if self.flags.flush and self.fl.background_region_flush:
+                flush_ns = 0  # hidden behind Primary execution
+            else:
+                flush_ns = self._region_flush_ns()
+        if self.flags.sched:
+            notify = self.hw.notify_ns
+        elif rng is not None and self.sw.reclaim_detect_ns > 0:
+            notify = int(rng.exponential(self.sw.reclaim_detect_ns))
+        else:
+            notify = 0
+        return TransitionCost(notify + self._reassign_ns(), flush_ns, flush_fn)

@@ -1,0 +1,32 @@
+"""The HardHarvest lending agent: QM-driven, instant, bufferless.
+
+Section 4.1.4: when a core bound to a Primary VM spins on its QM's subqueue
+and finds no request, the QM forwards the core to a Harvest VM's QM, which
+hands it a process immediately. There is no hypervisor call, no global lock,
+no emergency buffer, and no prediction — reassignment is cheap enough that
+mistakes cost almost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import HarvestTrigger
+from repro.harvest.base import HarvestAgent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.core import Core
+
+
+class HardwareAgent(HarvestAgent):
+    """Lend instantly whenever the trigger condition holds."""
+
+    name = "hardharvest"
+
+    def __init__(self, trigger: HarvestTrigger):
+        if trigger is HarvestTrigger.NEVER:
+            raise ValueError("HardwareAgent requires a harvesting trigger")
+        super().__init__(trigger)
+
+    def on_core_idle(self, core: "Core", cause: str) -> bool:
+        return self.cause_allowed(cause)

@@ -1,0 +1,65 @@
+"""Request Context Memory: in-hardware save/restore of process state.
+
+Section 4.1.4/4.1.8: HardHarvest extends the µManycore [76] fast-context-
+switch hardware to also swap VM context. The special memory hangs off the
+regular NoC; save and restore happen without entering the kernel.
+
+The functional model stores contexts keyed by an id; the cost model exposes
+the two operating points the paper quotes: software context switching (µs)
+and hardware (tens of ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SavedContext:
+    """The register state of one in-flight request (opaque payload)."""
+
+    request: object
+    vm_id: int
+    program_counter: int = 0
+    payload: Dict[str, int] = field(default_factory=dict)
+
+
+class RequestContextMemory:
+    """Bounded store of saved request contexts."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._slots: Dict[int, SavedContext] = {}
+        self._next_id = 0
+        self.saves = 0
+        self.restores = 0
+        self.highwater = 0
+
+    def save(self, context: SavedContext) -> int:
+        """Store a context; returns its slot id."""
+        if len(self._slots) >= self.capacity:
+            raise RuntimeError("Request Context Memory full")
+        slot = self._next_id
+        self._next_id += 1
+        self._slots[slot] = context
+        self.saves += 1
+        self.highwater = max(self.highwater, len(self._slots))
+        return slot
+
+    def restore(self, slot: int) -> SavedContext:
+        """Remove and return the context in ``slot``."""
+        ctx = self._slots.pop(slot, None)
+        if ctx is None:
+            raise KeyError(f"no context in slot {slot}")
+        self.restores += 1
+        return ctx
+
+    def peek(self, slot: int) -> Optional[SavedContext]:
+        return self._slots.get(slot)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)

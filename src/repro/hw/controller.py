@@ -1,0 +1,101 @@
+"""The HardHarvest hardware controller (Figure 9).
+
+One per server. Owns the physical Request Queue, a pool of Queue Managers
+paired with VM State Register Sets, the Request Context Memory, and the
+dedicated control tree. VMs register on creation (getting a QM, a register
+set, and RQ chunks proportional to their core count) and deregister on
+departure (their chunks return to the remaining subqueues).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import ControllerConfig
+from repro.hw.context import RequestContextMemory
+from repro.hw.noc import ControlTree
+from repro.hw.queue_manager import QueueManager
+from repro.hw.request_queue import RequestQueue
+from repro.hw.vm_state import VmStateRegisterSet
+
+
+class HardHarvestController:
+    """Centralized controller module reached over the control tree."""
+
+    def __init__(self, config: ControllerConfig, num_cores: int, freq_ghz: float = 3.0):
+        self.config = config
+        self.rq = RequestQueue(config.num_chunks, config.entries_per_chunk)
+        self.qms: Dict[int, QueueManager] = {}  # vm_id -> QM
+        self.context_memory = RequestContextMemory()
+        self.control_tree = ControlTree(num_cores, freq_ghz)
+        self._next_qm_id = 0
+        self._total_bound_cores = 0
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+    # ------------------------------------------------------------------
+    def register_vm(self, vm_id: int, is_primary: bool, num_cores: int) -> QueueManager:
+        """Allocate a QM, register set, and subqueue chunks for a new VM.
+
+        The subqueue gets a share of RQ chunks proportional to the VM's core
+        count relative to all bound cores (Section 4.1.2).
+        """
+        if vm_id in self.qms:
+            raise ValueError(f"VM {vm_id} already registered")
+        if len(self.qms) >= self.config.num_queue_managers:
+            raise RuntimeError(
+                f"all {self.config.num_queue_managers} Queue Managers in use"
+            )
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        total_cores = self._total_bound_cores + num_cores
+        target_chunks = max(
+            1, round(self.config.num_chunks * num_cores / total_cores)
+        )
+        subqueue = self.rq.create_subqueue(vm_id, target_chunks)
+        registers = VmStateRegisterSet(
+            self.config.vm_state_registers, self.config.register_bytes
+        )
+        registers.load_for_vm(vm_id)
+        qm = QueueManager(self._next_qm_id, vm_id, is_primary, subqueue, registers)
+        self._next_qm_id += 1
+        self.qms[vm_id] = qm
+        self._total_bound_cores = total_cores
+        return qm
+
+    def deregister_vm(self, vm_id: int) -> None:
+        qm = self.qms.get(vm_id)
+        if qm is None:
+            raise KeyError(f"VM {vm_id} not registered")
+        self.rq.destroy_subqueue(vm_id)
+        self._total_bound_cores -= len(qm.bound_cores) or 0
+        del self.qms[vm_id]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def qm_for(self, vm_id: int) -> QueueManager:
+        qm = self.qms.get(vm_id)
+        if qm is None:
+            raise KeyError(f"VM {vm_id} has no Queue Manager")
+        return qm
+
+    def primary_qms(self) -> List[QueueManager]:
+        return [qm for qm in self.qms.values() if qm.is_primary]
+
+    def harvest_qms(self) -> List[QueueManager]:
+        return [qm for qm in self.qms.values() if not qm.is_primary]
+
+    # ------------------------------------------------------------------
+    # NIC-facing path (Section 4.1.3): deliver a request pointer.
+    # ------------------------------------------------------------------
+    def deliver(self, vm_id: int, request: object) -> bool:
+        """Deposit a request pointer in the VM's subqueue (or overflow).
+
+        Returns True if it landed in the hardware queue."""
+        return self.qm_for(vm_id).enqueue(request)
+
+    # ------------------------------------------------------------------
+    def control_latency_ns(self) -> int:
+        """One core<->controller message over the dedicated tree."""
+        return self.control_tree.latency_ns()

@@ -1,0 +1,134 @@
+"""The user-level instruction surface of HardHarvest (Section 4.1.8).
+
+Cores talk to the controller through a handful of *user-level
+instructions* — no system calls: spin on the Request Subqueue for work,
+dequeue a request, mark a request complete, mark it blocked on I/O. The
+instructions are "embedded in libraries" and "transparent to application
+developers": gRPC's ``CompletionQueue::Next`` and Thrift's
+``TServerSocket::listen`` are augmented with the dequeue instruction.
+
+:class:`CoreIsa` models one core's instruction endpoint: each instruction
+resolves through the core's ``MyManager`` register to its Queue Manager,
+costs one control-tree round trip, and updates the controller state
+exactly as the engine's fast path does. :class:`GrpcCompletionQueue` and
+:class:`ThriftServerSocket` are the library shims the paper describes,
+expressed over the instruction surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.controller import HardHarvestController
+
+
+@dataclass
+class IsaStats:
+    """Instruction issue counts and cycles spent at the controller."""
+
+    spins: int = 0
+    dequeues: int = 0
+    completes: int = 0
+    blocks: int = 0
+    enqueues: int = 0
+    control_ns: int = 0
+
+
+class CoreIsa:
+    """One core's HardHarvest instruction endpoint.
+
+    ``my_manager`` is the core's MyManager register: the VM id whose Queue
+    Manager serves this core's instructions (Section 4.1.2).
+    """
+
+    def __init__(self, controller: HardHarvestController, core_id: int, my_manager: int):
+        self.controller = controller
+        self.core_id = core_id
+        self.my_manager = my_manager
+        self.stats = IsaStats()
+        controller.qm_for(my_manager).bind_core(core_id)
+
+    def _charge(self) -> int:
+        ns = self.controller.control_latency_ns()
+        self.stats.control_ns += ns
+        return ns
+
+    # ------------------------------------------------------------------
+    # The instructions
+    # ------------------------------------------------------------------
+    def spin(self) -> bool:
+        """SPIN: is there ready work in my subqueue? (non-trapping poll)"""
+        self._charge()
+        self.stats.spins += 1
+        return self.controller.qm_for(self.my_manager).has_ready()
+
+    def dequeue(self) -> Optional[object]:
+        """DEQUEUE: pop the oldest ready request of my VM, or None."""
+        self._charge()
+        self.stats.dequeues += 1
+        return self.controller.qm_for(self.my_manager).dequeue()
+
+    def complete(self, request: object) -> None:
+        """COMPLETE: inform the QM that ``request`` finished."""
+        self._charge()
+        self.stats.completes += 1
+        self.controller.qm_for(self.my_manager).complete(request)
+
+    def block(self, request: object) -> None:
+        """BLOCK: inform the QM that ``request`` stalled on I/O; its entry
+        stays in the subqueue (Section 4.1.5)."""
+        self._charge()
+        self.stats.blocks += 1
+        self.controller.qm_for(self.my_manager).mark_blocked(request)
+
+    def enqueue(self, request: object) -> bool:
+        """ENQUEUE: deposit a locally-generated request (e.g. a nested
+        call) into my VM's subqueue."""
+        self._charge()
+        self.stats.enqueues += 1
+        return self.controller.qm_for(self.my_manager).enqueue(request)
+
+    def set_my_manager(self, vm_id: int) -> None:
+        """Rebind the MyManager register (core re-assignment)."""
+        self.controller.qm_for(self.my_manager).unbind_core(self.core_id)
+        self.controller.qm_for(vm_id).bind_core(self.core_id)
+        self.my_manager = vm_id
+
+
+# ---------------------------------------------------------------------------
+# Library shims (Section 4.1.8): the instructions are transparent to the
+# application — the RPC library's wait-for-work entry points issue them.
+# ---------------------------------------------------------------------------
+class GrpcCompletionQueue:
+    """``CompletionQueue::Next`` augmented with the dequeue instruction."""
+
+    def __init__(self, isa: CoreIsa):
+        self.isa = isa
+
+    def next(self, max_spins: int = 64) -> Optional[object]:
+        """Block (bounded here) until a request is available, dequeue it."""
+        for _ in range(max_spins):
+            if self.isa.spin():
+                req = self.isa.dequeue()
+                if req is not None:
+                    return req
+        return None
+
+
+class ThriftServerSocket:
+    """``TServerSocket::listen`` augmented with the dequeue instruction."""
+
+    def __init__(self, isa: CoreIsa):
+        self.isa = isa
+        self.listening = False
+
+    def listen(self) -> None:
+        self.listening = True
+
+    def accept(self) -> Optional[object]:
+        if not self.listening:
+            raise RuntimeError("socket is not listening")
+        if self.isa.spin():
+            return self.isa.dequeue()
+        return None

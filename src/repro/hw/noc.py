@@ -1,0 +1,62 @@
+"""On-chip network models.
+
+Two networks (Section 4.1.8): the regular 2D mesh carrying workload traffic
+(5 cycles/hop, Table 1) and a thin, latency-optimized *tree* control network
+dedicated to the HardHarvest controller so scheduler traffic never competes
+with workload traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.units import cycles_to_ns
+
+
+class MeshNetwork:
+    """A 2D mesh over the server's cores (6x6 for 36 cores)."""
+
+    def __init__(self, num_cores: int, hop_cycles: int, freq_ghz: float):
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+        self.hop_cycles = hop_cycles
+        self.freq_ghz = freq_ghz
+        self.side = max(1, int(round(math.sqrt(num_cores))))
+
+    def _coords(self, core: int):
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} outside mesh of {self.num_cores}")
+        return divmod(core, self.side)
+
+    def hops(self, src: int, dst: int) -> int:
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def latency_ns(self, src: int, dst: int) -> int:
+        return cycles_to_ns(self.hops(src, dst) * self.hop_cycles, self.freq_ghz)
+
+    def average_latency_ns(self) -> int:
+        """Mean latency between two uniformly random endpoints: 2/3 of the
+        side length per dimension."""
+        avg_hops = 2 * (self.side - 1) * (self.side + 1) / (3 * self.side)
+        return cycles_to_ns(avg_hops * self.hop_cycles, self.freq_ghz)
+
+
+class ControlTree:
+    """The dedicated tree network between cores and the controller.
+
+    Thin links, latency-sensitive: a core-to-controller message crosses
+    ``ceil(log2(cores))`` tree levels at one cycle per level.
+    """
+
+    def __init__(self, num_cores: int, freq_ghz: float, cycles_per_level: int = 1):
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+        self.freq_ghz = freq_ghz
+        self.cycles_per_level = cycles_per_level
+        self.levels = max(1, math.ceil(math.log2(num_cores)))
+
+    def latency_ns(self) -> int:
+        return cycles_to_ns(self.levels * self.cycles_per_level, self.freq_ghz)

@@ -1,0 +1,116 @@
+"""Queue Managers (Section 4.1.2-4.1.5).
+
+A QM owns one VM's subqueue and its VM State Register Set, knows whether its
+VM is Primary or Harvest, tracks which of its bound cores are on loan to a
+Harvest VM, and holds the VM's HarvestMask register (the per-structure
+harvest-region way masks, Section 4.2.1).
+
+The QM is mechanism, not policy: deciding *when* to lend or reclaim cores is
+the scheduler's job (:mod:`repro.harvest.hardware`); the QM provides the
+queue operations and the bookkeeping those decisions need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.hw.request_queue import Subqueue
+from repro.hw.vm_state import VmStateRegisterSet
+
+
+class HarvestMaskRegister:
+    """The 5-byte HarvestMask: one bit per way for each of the five private
+    structures (L1D, L1I, L2, L1 TLB, L2 TLB)."""
+
+    STRUCTURES = ("l1d", "l1i", "l2", "l1_tlb", "l2_tlb")
+
+    def __init__(self) -> None:
+        self._masks: Dict[str, int] = {s: 0 for s in self.STRUCTURES}
+
+    def set_mask(self, structure: str, mask: int) -> None:
+        if structure not in self._masks:
+            raise KeyError(f"unknown structure {structure!r}")
+        if mask < 0 or mask >= (1 << 16):
+            raise ValueError(f"mask {mask:#x} exceeds 16 ways")
+        self._masks[structure] = mask
+
+    def get_mask(self, structure: str) -> int:
+        return self._masks[structure]
+
+    @property
+    def storage_bytes(self) -> int:
+        # The paper budgets 5 bytes total (Section 6.8): one byte-ish of
+        # way bits per structure.
+        return 5
+
+
+class QueueManager:
+    """One VM's hardware scheduler endpoint."""
+
+    def __init__(
+        self,
+        qm_id: int,
+        vm_id: int,
+        is_primary: bool,
+        subqueue: Subqueue,
+        state_registers: VmStateRegisterSet,
+    ):
+        self.qm_id = qm_id
+        self.vm_id = vm_id
+        self.is_primary = is_primary
+        self.subqueue = subqueue
+        self.state_registers = state_registers
+        self.harvest_mask = HarvestMaskRegister()
+        #: Core ids logically bound to this VM (MyManager register points here).
+        self.bound_cores: Set[int] = set()
+        #: Bound cores currently on loan, executing Harvest VM work.
+        self.on_loan: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Core binding
+    # ------------------------------------------------------------------
+    def bind_core(self, core_id: int) -> None:
+        self.bound_cores.add(core_id)
+
+    def unbind_core(self, core_id: int) -> None:
+        self.bound_cores.discard(core_id)
+        self.on_loan.discard(core_id)
+
+    def lend_core(self, core_id: int) -> None:
+        if core_id not in self.bound_cores:
+            raise ValueError(f"core {core_id} is not bound to VM {self.vm_id}")
+        if core_id in self.on_loan:
+            raise ValueError(f"core {core_id} is already on loan")
+        self.on_loan.add(core_id)
+
+    def reclaim_core(self, core_id: int) -> None:
+        if core_id not in self.on_loan:
+            raise ValueError(f"core {core_id} is not on loan from VM {self.vm_id}")
+        self.on_loan.discard(core_id)
+
+    # ------------------------------------------------------------------
+    # Queue operations (delegate to the subqueue)
+    # ------------------------------------------------------------------
+    def enqueue(self, request: object) -> bool:
+        return self.subqueue.enqueue(request)
+
+    def dequeue(self) -> Optional[object]:
+        return self.subqueue.dequeue_ready()
+
+    def has_ready(self) -> bool:
+        return self.subqueue.has_ready()
+
+    def mark_blocked(self, request: object) -> None:
+        self.subqueue.mark_blocked(request)
+
+    def mark_ready(self, request: object) -> None:
+        self.subqueue.mark_ready(request)
+
+    def requeue(self, request: object) -> None:
+        self.subqueue.requeue_ready(request)
+
+    def complete(self, request: object) -> None:
+        self.subqueue.complete(request)
+
+    def pending(self) -> int:
+        return self.subqueue.total_pending()

@@ -1,0 +1,67 @@
+"""VM State Register Sets (Section 4.1.2, Figure 9).
+
+Each Queue Manager is paired with a register set holding the VM state shared
+by all threads of a VM: VMCS pointer, CR0/CR3/CR4, GDTR/LDTR/IDTR, plus
+spare slots up to the configured 16 registers of 8 bytes each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Architectural registers the paper names, in canonical order.
+NAMED_REGISTERS: Tuple[str, ...] = (
+    "VMCS",
+    "CR0",
+    "CR3",
+    "CR4",
+    "GDTR",
+    "LDTR",
+    "IDTR",
+)
+
+
+class VmStateRegisterSet:
+    """A fixed-size bank of 8-byte registers for one VM's shared state."""
+
+    def __init__(self, num_registers: int = 16, register_bytes: int = 8):
+        if num_registers < len(NAMED_REGISTERS):
+            raise ValueError(
+                f"need at least {len(NAMED_REGISTERS)} registers, got {num_registers}"
+            )
+        self.num_registers = num_registers
+        self.register_bytes = register_bytes
+        self._values: Dict[str, int] = {name: 0 for name in NAMED_REGISTERS}
+        self._spares = num_registers - len(NAMED_REGISTERS)
+
+    def write(self, name: str, value: int) -> None:
+        if name not in self._values:
+            if len(self._values) - len(NAMED_REGISTERS) >= self._spares:
+                raise KeyError(f"no spare register slots left for {name!r}")
+            self._values[name] = 0
+        max_value = (1 << (self.register_bytes * 8)) - 1
+        if not 0 <= value <= max_value:
+            raise ValueError(f"value {value:#x} exceeds {self.register_bytes}-byte register")
+        self._values[name] = value
+
+    def read(self, name: str) -> int:
+        if name not in self._values:
+            raise KeyError(f"register {name!r} not populated")
+        return self._values[name]
+
+    def load_for_vm(self, vm_id: int) -> None:
+        """Populate with synthetic-but-distinct state for ``vm_id``.
+
+        The simulator does not execute real ring-0 state, but keeping
+        distinct values per VM lets tests verify the right set is restored
+        on a context switch."""
+        base = (vm_id + 1) << 12
+        for i, name in enumerate(NAMED_REGISTERS):
+            self.write(name, base + i)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.num_registers * self.register_bytes

@@ -1,0 +1,59 @@
+"""Way-partition masks: the HarvestMask register (Section 4.2.1, Figure 9).
+
+Each private structure (L1I/L1D/L2 caches, L1/L2 TLBs) is way-partitioned
+into a *harvest region* and a *non-harvest region*. A Primary VM may use all
+ways; a Harvest VM only the harvest region. Masks are integers with bit ``w``
+set when way ``w`` belongs to the region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def full_mask(ways: int) -> int:
+    """Mask with all ``ways`` bits set."""
+    if ways <= 0:
+        raise ValueError(f"ways must be positive, got {ways}")
+    return (1 << ways) - 1
+
+
+def harvest_mask(ways: int, harvest_fraction: float) -> int:
+    """Mask selecting the harvest region: the low ``round(frac*ways)`` ways.
+
+    At least one way always lands in each region so both VMs can run.
+    """
+    if not 0.0 < harvest_fraction < 1.0:
+        raise ValueError(f"harvest_fraction must be in (0,1), got {harvest_fraction}")
+    n_harvest = int(round(ways * harvest_fraction))
+    n_harvest = min(max(n_harvest, 1), ways - 1)
+    return (1 << n_harvest) - 1
+
+
+@dataclass(frozen=True)
+class WayPartition:
+    """Partition of one structure's ways, as stored in a HarvestMask."""
+
+    ways: int
+    harvest: int  # bitmask of harvest-region ways
+
+    @property
+    def non_harvest(self) -> int:
+        return full_mask(self.ways) & ~self.harvest
+
+    @property
+    def all_ways(self) -> int:
+        return full_mask(self.ways)
+
+    @property
+    def harvest_way_count(self) -> int:
+        return bin(self.harvest).count("1")
+
+    @staticmethod
+    def split(ways: int, harvest_fraction: float) -> "WayPartition":
+        return WayPartition(ways=ways, harvest=harvest_mask(ways, harvest_fraction))
+
+    @staticmethod
+    def unpartitioned(ways: int) -> "WayPartition":
+        """No harvest region: everything behaves like one region."""
+        return WayPartition(ways=ways, harvest=0)

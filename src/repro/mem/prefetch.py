@@ -1,0 +1,50 @@
+"""Optional next-line prefetcher for the cache model.
+
+A simple tagged next-N-line prefetcher: on a demand miss, the following
+``degree`` sequential lines are brought in (marked with the same Shared
+bit). Off by default — the paper's evaluation does not model prefetching —
+but useful for what-if studies on how prefetching interacts with the
+harvest region (prefetches issued by a Harvest VM stay inside its mask).
+"""
+
+from __future__ import annotations
+
+from repro.mem.cache import Cache
+
+
+class NextLinePrefetcher:
+    """Wraps a :class:`Cache` with next-line prefetch on demand misses."""
+
+    def __init__(self, cache: Cache, degree: int = 1):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.cache = cache
+        self.degree = degree
+        self.prefetches_issued = 0
+        self.prefetch_hits = 0  # demand hits on lines we prefetched
+        self._prefetched = set()
+
+    def access(self, addr: int, shared: bool, allowed: int, write: bool = False) -> bool:
+        line = addr // self.cache.line_bytes
+        hit = self.cache.access(addr, shared, allowed, write)
+        if hit:
+            if line in self._prefetched:
+                self.prefetch_hits += 1
+                self._prefetched.discard(line)
+            return True
+        # Demand miss: pull in the next `degree` lines.
+        for i in range(1, self.degree + 1):
+            next_addr = addr + i * self.cache.line_bytes
+            next_line = line + i
+            if not self.cache.probe(next_addr, allowed):
+                self.cache.access(next_addr, shared, allowed)
+                self.prefetches_issued += 1
+                self._prefetched.add(next_line)
+        return False
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches that saw a later demand hit."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetch_hits / self.prefetches_issued

@@ -1,0 +1,53 @@
+"""TLB model: a set-associative array at page granularity.
+
+TLB entries carry the paper's Shared page bit (copied from the page table
+entry, Section 4.2.2) so the HardHarvest replacement policy can steer shared
+translations into the non-harvest region.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mem.cache import SetAssocArray
+from repro.mem.replacement import ReplacementPolicy
+
+
+class Tlb:
+    """One TLB level (L1 or L2)."""
+
+    def __init__(
+        self,
+        name: str,
+        entries: int,
+        ways: int,
+        round_trip_cycles: int,
+        policy: ReplacementPolicy,
+        page_bytes: int = 4096,
+    ):
+        if entries % ways != 0:
+            raise ValueError(f"{name}: entries {entries} not divisible by ways {ways}")
+        self.page_bytes = page_bytes
+        self.round_trip_cycles = round_trip_cycles
+        self.array = SetAssocArray(name, entries // ways, ways, policy)
+
+    @property
+    def name(self) -> str:
+        return self.array.name
+
+    def locate(self, addr: int) -> Tuple[int, int]:
+        page = addr // self.page_bytes
+        return page % self.array.num_sets, page // self.array.num_sets
+
+    def access(self, addr: int, shared: bool, allowed: int) -> bool:
+        set_index, tag = self.locate(addr)
+        return self.array.access(set_index, tag, shared, allowed)
+
+    def flush_ways(self, mask: int) -> int:
+        return self.array.flush_ways(mask)
+
+    def flush_all(self) -> int:
+        return self.array.flush_all()
+
+    def hit_rate(self) -> float:
+        return self.array.hit_rate()

@@ -1,0 +1,31 @@
+"""Simulation substrate: event engine, RNG streams, units, statistics."""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import (
+    Breakdown,
+    BreakdownRecorder,
+    Counter,
+    LatencyRecorder,
+    UtilizationTracker,
+)
+from repro.sim.units import KB, MB, MS, NS, SEC, US, cycles_to_ns, ns_to_cycles
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "RngRegistry",
+    "LatencyRecorder",
+    "UtilizationTracker",
+    "Breakdown",
+    "BreakdownRecorder",
+    "Counter",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "KB",
+    "MB",
+    "cycles_to_ns",
+    "ns_to_cycles",
+]

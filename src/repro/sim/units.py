@@ -1,0 +1,43 @@
+"""Time and size units used throughout the simulator.
+
+The simulation clock is an integer number of **nanoseconds**. Integer time
+makes event ordering exact and runs reproducible: there is no accumulation of
+floating-point error across the billions of nanoseconds a run covers.
+
+All public APIs that accept a duration take integer nanoseconds; use these
+constants to write readable call sites (``5 * MS``, ``250 * US``).
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NS = 1
+#: One microsecond in nanoseconds.
+US = 1_000
+#: One millisecond in nanoseconds.
+MS = 1_000_000
+#: One second in nanoseconds.
+SEC = 1_000_000_000
+
+#: Bytes per kilobyte / megabyte (binary, as used for cache sizes).
+KB = 1024
+MB = 1024 * 1024
+
+
+def cycles_to_ns(cycles: float, freq_ghz: float) -> int:
+    """Convert a cycle count at ``freq_ghz`` GHz to integer nanoseconds.
+
+    Rounds half-up so that a 1-cycle operation at 3 GHz (0.33 ns) still
+    advances time by at least zero ns but longer operations do not
+    systematically under-count.
+    """
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return int(round(cycles / freq_ghz))
+
+
+def ns_to_cycles(ns: float, freq_ghz: float) -> float:
+    """Convert nanoseconds to (fractional) cycles at ``freq_ghz`` GHz."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return ns * freq_ghz

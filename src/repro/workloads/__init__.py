@@ -1,0 +1,65 @@
+"""Workload generation: microservice profiles, batch jobs, kernels,
+Alibaba trace synthesis, and open-loop load generation."""
+
+from repro.workloads.alibaba import (
+    InstanceUtilization,
+    representative_instance,
+    sample_instances,
+    utilization_cdf,
+    utilization_timeseries,
+)
+from repro.workloads.batch import BATCH_BY_NAME, BATCH_JOBS, BATCH_NAMES, BatchJobProfile
+from repro.workloads.kernels import KERNELS, KernelResult, derive_batch_profile, estimate_skew
+from repro.workloads.loadgen import (
+    generate_arrivals,
+    generate_arrivals_correlated,
+    generate_arrivals_from_trace,
+    generate_arrivals_span,
+    generate_burst_schedule,
+    mean_rate,
+)
+from repro.workloads.memory_profile import BatchMemory, ServiceMemory
+from repro.workloads.microservices import (
+    SERVICE_BY_NAME,
+    SERVICE_NAMES,
+    SERVICES,
+    ServiceProfile,
+    draw_blocking_calls,
+    draw_exec_time_us,
+    draw_io_time_us,
+)
+from repro.workloads.suites import HOTEL_SERVICES, SUITES, get_suite
+
+__all__ = [
+    "ServiceProfile",
+    "SERVICES",
+    "SERVICE_BY_NAME",
+    "SERVICE_NAMES",
+    "draw_exec_time_us",
+    "draw_io_time_us",
+    "draw_blocking_calls",
+    "BatchJobProfile",
+    "BATCH_JOBS",
+    "BATCH_BY_NAME",
+    "BATCH_NAMES",
+    "KERNELS",
+    "KernelResult",
+    "derive_batch_profile",
+    "estimate_skew",
+    "ServiceMemory",
+    "BatchMemory",
+    "InstanceUtilization",
+    "sample_instances",
+    "utilization_cdf",
+    "utilization_timeseries",
+    "representative_instance",
+    "generate_arrivals",
+    "generate_arrivals_span",
+    "generate_arrivals_correlated",
+    "generate_arrivals_from_trace",
+    "generate_burst_schedule",
+    "mean_rate",
+    "SUITES",
+    "HOTEL_SERVICES",
+    "get_suite",
+]

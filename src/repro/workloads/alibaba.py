@@ -1,0 +1,110 @@
+"""Synthetic Alibaba microservice-trace generator.
+
+The paper grounds its motivation in Alibaba's production traces [48]: a
+time series (30 s granularity) of average/maximum/minimum core utilization
+per microservice instance. Those traces anchor two published statistics
+(Section 1 / Figure 2):
+
+* 50% of instances have **average** core utilization below 16.1%;
+* 90% of instances have **maximum** core utilization below 40.7%.
+
+This module synthesizes instance populations calibrated to those anchors
+and per-instance utilization time series with the bursty shape of Figure 3.
+The anchors are asserted by tests (within sampling tolerance), making the
+substitution auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+#: Published anchor points.
+MEDIAN_AVG_UTILIZATION = 0.161
+P90_MAX_UTILIZATION = 0.407
+TRACE_GRANULARITY_S = 30
+
+# Joint lognormal construction: a common factor z drives both avg and max,
+# with the max's marginal calibrated so its 90th percentile hits the anchor.
+_AVG_SIGMA_COMMON = 0.55
+_AVG_SIGMA_IDIO = 0.20
+_MAX_SIGMA_COMMON = 0.45
+_MAX_SIGMA_IDIO = 0.15
+_MAX_SIGMA_TOTAL = float(np.hypot(_MAX_SIGMA_COMMON, _MAX_SIGMA_IDIO))
+_Z90 = 1.2815515655446004
+_MAX_MEDIAN = P90_MAX_UTILIZATION / float(np.exp(_Z90 * _MAX_SIGMA_TOTAL))
+
+
+@dataclass(frozen=True)
+class InstanceUtilization:
+    """Average and maximum core utilization of one microservice instance."""
+
+    avg: float
+    max: float
+
+
+def sample_instances(
+    rng: np.random.Generator, n: int
+) -> List[InstanceUtilization]:
+    """Sample ``n`` instances' (avg, max) utilization pairs.
+
+    Construction: ``ln avg`` and ``ln max`` share a common normal factor
+    (bursty instances are bursty in both), with medians set from the
+    published anchors; ``max`` is floored at ``1.05 * avg`` and both are
+    capped at 1.0.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    z = rng.normal(size=n)
+    avg = MEDIAN_AVG_UTILIZATION * np.exp(
+        _AVG_SIGMA_COMMON * z + _AVG_SIGMA_IDIO * rng.normal(size=n)
+    )
+    mx = _MAX_MEDIAN * np.exp(
+        _MAX_SIGMA_COMMON * z + _MAX_SIGMA_IDIO * rng.normal(size=n)
+    )
+    avg = np.minimum(avg, 1.0)
+    mx = np.minimum(np.maximum(mx, avg * 1.05), 1.0)
+    avg = np.minimum(avg, mx)
+    return [InstanceUtilization(float(a), float(m)) for a, m in zip(avg, mx)]
+
+
+def utilization_cdf(values: List[float], points: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF over [0, 1] for plotting Figure 2."""
+    xs = np.linspace(0.0, 1.0, points)
+    data = np.sort(np.asarray(values))
+    ys = np.searchsorted(data, xs, side="right") / len(data)
+    return xs, ys
+
+
+def utilization_timeseries(
+    rng: np.random.Generator,
+    instance: InstanceUtilization,
+    duration_s: int = 510,
+    granularity_s: int = TRACE_GRANULARITY_S,
+) -> np.ndarray:
+    """A bursty utilization time series with the Figure 3 shape.
+
+    AR(1) baseline around the instance's average with occasional bursts
+    toward its maximum. Values are clipped to [0, max].
+    """
+    n = max(1, duration_s // granularity_s)
+    base = instance.avg
+    series = np.empty(n)
+    level = base
+    phi = 0.6
+    noise_scale = 0.25 * base
+    burst_prob = 0.12
+    for i in range(n):
+        level = base + phi * (level - base) + rng.normal(scale=noise_scale)
+        value = level
+        if rng.random() < burst_prob:
+            value = instance.max * float(rng.uniform(0.7, 1.0))
+        series[i] = min(max(value, 0.01 * base), instance.max)
+    return series
+
+
+def representative_instance() -> InstanceUtilization:
+    """The 'representative Alibaba VM' used for Figure 3."""
+    return InstanceUtilization(avg=0.22, max=0.85)

@@ -1,0 +1,72 @@
+"""Batch workload models for Harvest VMs (Section 5).
+
+The paper's eight batch applications, one per server: graph analytics from
+GraphBIG (BFS, CC, DC, PRank), ML training from FunctionBench (LRTrain,
+RndFTrain), data analytics from CloudSuite (Hadoop), and bioinformatics from
+BioBench (MUMmer).
+
+Each is modeled as an endless stream of *work units*: a unit is
+``unit_us`` of CPU time plus sampled memory accesses over the job's
+footprint. Harvest VM throughput (Figure 17) is completed units per second.
+Memory-intensive jobs (RndFTrain, MUMmer, PRank) have large footprints and
+weak locality, so they benefit less from harvested cores whose cache share
+is the harvest region only — reproducing the paper's observation that
+memory-intensive applications see slightly lower throughput gains.
+
+Footprint/locality parameters are derived from the mini-kernels in
+:mod:`repro.workloads.kernels` (see ``derive_batch_profile``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BatchJobProfile:
+    """Statistical description of one batch application."""
+
+    name: str
+    #: CPU time per work unit (µs).
+    unit_us: float
+    #: Footprint in 4 KB pages (data) and code pages.
+    data_pages: int
+    code_pages: int
+    #: Page-popularity skew (1.0 = uniform; larger = hotter core).
+    skew: float
+    #: Memory-reference tokens per µs of CPU time.
+    mem_refs_per_us: float
+    #: Per-extra-active-core slowdown of each unit: batch applications pay
+    #: synchronization/coordination costs when spread over more (and
+    #: fluctuating) cores, so throughput scales sublinearly with harvested
+    #: cores. Unit duration is multiplied by ``1 + sync_overhead * (n-1)``.
+    sync_overhead: float
+
+
+def _b(name, unit_us, data_pages, code_pages, skew, refs, sync) -> BatchJobProfile:
+    return BatchJobProfile(
+        name=name,
+        unit_us=unit_us,
+        data_pages=data_pages,
+        code_pages=code_pages,
+        skew=skew,
+        mem_refs_per_us=refs,
+        sync_overhead=sync,
+    )
+
+
+#: The eight batch applications, in Figure 17 order.
+BATCH_JOBS: Tuple[BatchJobProfile, ...] = (
+    _b("BFS",       800, 1600, 40, 1.3, 30, 0.080),
+    _b("CC",        900, 1600, 40, 1.3, 28, 0.075),
+    _b("DC",        700, 1200, 40, 1.6, 24, 0.065),
+    _b("PRank",    1000, 2000, 40, 1.1, 34, 0.065),
+    _b("LRTrain",   900,  900, 60, 2.2, 20, 0.085),
+    _b("RndFTrain", 1100, 2600, 60, 1.1, 38, 0.090),
+    _b("Hadoop",    1000, 1400, 80, 1.8, 26, 0.060),
+    _b("MUMmer",    1200, 2400, 50, 1.2, 36, 0.075),
+)
+
+BATCH_BY_NAME: Dict[str, BatchJobProfile] = {b.name: b for b in BATCH_JOBS}
+BATCH_NAMES: Tuple[str, ...] = tuple(b.name for b in BATCH_JOBS)

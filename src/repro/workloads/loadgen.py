@@ -1,0 +1,226 @@
+"""Open-loop load generation.
+
+The paper drives each Primary VM with real-world invocation rates from the
+Alibaba traces via an open-loop generator (the client never slows down for
+the server — Section 5). We reproduce that with a Markov-modulated Poisson
+process (MMPP): a VM alternates between a *normal* state at its base rate
+and a *burst* state at ``burst_multiplier`` times that rate, with
+exponentially distributed dwell times. Bursts are what stress reclamation:
+they are the moments a Primary VM suddenly needs its harvested cores back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.units import MS, SEC
+from repro.workloads.microservices import ServiceProfile
+
+
+def generate_arrivals(
+    rng: np.random.Generator,
+    profile: ServiceProfile,
+    num_cores: int,
+    count: int,
+    load_scale: float = 1.0,
+) -> List[int]:
+    """Arrival timestamps (ns) for ``count`` requests to one Primary VM.
+
+    The base rate is ``rps_per_core * num_cores * load_scale``; the MMPP
+    burst state multiplies it by the profile's ``burst_multiplier``.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    base_rate = profile.rps_per_core * num_cores * load_scale  # req/s
+    if base_rate <= 0:
+        raise ValueError(f"non-positive arrival rate for {profile.name}")
+    burst_rate = base_rate * profile.burst_multiplier
+
+    arrivals: List[int] = []
+    now = 0.0  # seconds
+    in_burst = False
+    state_end = rng.exponential(profile.normal_dwell_ms / 1e3)
+    while len(arrivals) < count:
+        rate = burst_rate if in_burst else base_rate
+        gap = rng.exponential(1.0 / rate)
+        if now + gap > state_end:
+            # State change before next arrival: advance to the boundary.
+            now = state_end
+            in_burst = not in_burst
+            dwell_ms = profile.burst_dwell_ms if in_burst else profile.normal_dwell_ms
+            state_end = now + rng.exponential(dwell_ms / 1e3)
+            continue
+        now += gap
+        arrivals.append(int(now * SEC))
+    return arrivals
+
+
+def generate_burst_schedule(
+    rng: np.random.Generator,
+    horizon_ns: int,
+    normal_dwell_ms: float = 420.0,
+    burst_dwell_ms: float = 45.0,
+) -> List[Tuple[int, int]]:
+    """Server-wide burst windows [(start_ns, end_ns), ...].
+
+    Microservices of one application burst *together* — a user-traffic
+    surge fans out through every service of the composition — so the burst
+    schedule is shared across a server's Primary VMs. Correlated bursts are
+    what exhaust SmartHarvest's small emergency buffer: every VM wants its
+    cores back at the same moment.
+    """
+    if horizon_ns <= 0:
+        raise ValueError(f"horizon_ns must be positive, got {horizon_ns}")
+    windows: List[Tuple[int, int]] = []
+    now = 0.0
+    horizon_s = horizon_ns / SEC
+    while now < horizon_s:
+        now += rng.exponential(normal_dwell_ms / 1e3)
+        if now >= horizon_s:
+            break
+        end = now + rng.exponential(burst_dwell_ms / 1e3)
+        windows.append((int(now * SEC), int(min(end, horizon_s) * SEC)))
+        now = end
+    return windows
+
+
+def generate_arrivals_correlated(
+    rng: np.random.Generator,
+    profile: ServiceProfile,
+    num_cores: int,
+    horizon_ns: int,
+    burst_windows: List[Tuple[int, int]],
+    load_scale: float = 1.0,
+    max_count: Optional[int] = None,
+) -> List[int]:
+    """Arrivals over ``[0, horizon_ns)`` with bursts at the shared windows.
+
+    Within a burst window the service's rate is multiplied by its own
+    ``burst_multiplier``; outside, the base rate applies.
+    """
+    if horizon_ns <= 0:
+        raise ValueError(f"horizon_ns must be positive, got {horizon_ns}")
+    base_rate = profile.rps_per_core * num_cores * load_scale
+    if base_rate <= 0:
+        raise ValueError(f"non-positive arrival rate for {profile.name}")
+    burst_rate = base_rate * profile.burst_multiplier
+
+    # Thinning approach: generate at the burst rate, keep non-burst arrivals
+    # with probability base/burst.
+    keep_prob = base_rate / burst_rate
+    arrivals: List[int] = []
+    now = 0.0
+    horizon_s = horizon_ns / SEC
+    wi = 0
+    while True:
+        now += rng.exponential(1.0 / burst_rate)
+        if now >= horizon_s:
+            break
+        t_ns = int(now * SEC)
+        while wi < len(burst_windows) and burst_windows[wi][1] <= t_ns:
+            wi += 1
+        in_burst = wi < len(burst_windows) and burst_windows[wi][0] <= t_ns
+        if in_burst or rng.random() < keep_prob:
+            arrivals.append(t_ns)
+            if max_count is not None and len(arrivals) >= max_count:
+                break
+    return arrivals
+
+
+def generate_arrivals_span(
+    rng: np.random.Generator,
+    profile: ServiceProfile,
+    num_cores: int,
+    horizon_ns: int,
+    load_scale: float = 1.0,
+    max_count: Optional[int] = None,
+) -> List[int]:
+    """Arrival timestamps (ns) covering ``[0, horizon_ns)``.
+
+    Unlike :func:`generate_arrivals`, every VM spans the same wall-clock
+    window regardless of its rate — the mode used for utilization and
+    throughput experiments, where all services must be live simultaneously.
+    ``max_count`` caps the number of requests (safety valve for tests).
+    """
+    if horizon_ns <= 0:
+        raise ValueError(f"horizon_ns must be positive, got {horizon_ns}")
+    base_rate = profile.rps_per_core * num_cores * load_scale
+    if base_rate <= 0:
+        raise ValueError(f"non-positive arrival rate for {profile.name}")
+    burst_rate = base_rate * profile.burst_multiplier
+
+    arrivals: List[int] = []
+    now = 0.0
+    horizon_s = horizon_ns / SEC
+    in_burst = False
+    state_end = rng.exponential(profile.normal_dwell_ms / 1e3)
+    while now < horizon_s:
+        rate = burst_rate if in_burst else base_rate
+        gap = rng.exponential(1.0 / rate)
+        if now + gap > state_end:
+            now = state_end
+            in_burst = not in_burst
+            dwell_ms = profile.burst_dwell_ms if in_burst else profile.normal_dwell_ms
+            state_end = now + rng.exponential(dwell_ms / 1e3)
+            continue
+        now += gap
+        if now >= horizon_s:
+            break
+        arrivals.append(int(now * SEC))
+        if max_count is not None and len(arrivals) >= max_count:
+            break
+    return arrivals
+
+
+def generate_arrivals_from_trace(
+    rng: np.random.Generator,
+    profile: ServiceProfile,
+    num_cores: int,
+    utilization: Sequence[float],
+    interval_ns: int,
+    load_scale: float = 1.0,
+    max_count: Optional[int] = None,
+) -> List[int]:
+    """Arrivals driven by an (Alibaba-style) utilization time series.
+
+    ``utilization[i]`` is the VM's target core utilization during interval
+    ``i`` of length ``interval_ns``; it is converted to a request rate via
+    the service's mean busy time per request (rate = util * cores /
+    busy_time). This is how the paper drives DeathStarBench services at the
+    rates of matched Alibaba production services (Section 5).
+    """
+    if interval_ns <= 0:
+        raise ValueError(f"interval_ns must be positive, got {interval_ns}")
+    if not len(utilization):
+        raise ValueError("empty utilization trace")
+    busy_s = profile.mean_exec_us / 1e6
+    arrivals: List[int] = []
+    interval_s = interval_ns / SEC
+    for i, util in enumerate(utilization):
+        if not 0.0 <= util <= 1.0:
+            raise ValueError(f"utilization[{i}]={util} outside [0, 1]")
+        rate = util * num_cores * load_scale / busy_s
+        if rate <= 0:
+            continue
+        t = i * interval_s
+        end = (i + 1) * interval_s
+        while True:
+            t += rng.exponential(1.0 / rate)
+            if t >= end:
+                break
+            arrivals.append(int(t * SEC))
+            if max_count is not None and len(arrivals) >= max_count:
+                return arrivals
+    return arrivals
+
+
+def mean_rate(arrivals: List[int]) -> float:
+    """Observed arrival rate (req/s) of a timestamp list."""
+    if len(arrivals) < 2:
+        raise ValueError("need at least two arrivals")
+    span_s = (arrivals[-1] - arrivals[0]) / SEC
+    if span_s <= 0:
+        raise ValueError("arrivals must span positive time")
+    return (len(arrivals) - 1) / span_s

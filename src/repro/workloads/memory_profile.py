@@ -1,0 +1,129 @@
+"""Synthetic memory-access generation for services and batch jobs.
+
+Converts a footprint description (shared/private/instruction page counts)
+into sampled cache-model accesses. Sampling is hot-skewed (a power law over
+pages) so the model reproduces the locality that makes microservice working
+sets effectively small (Section 3, "microservice invocations have relatively
+small working sets").
+
+Each sampled access is a *token* representing ``weight`` real references;
+the hierarchy's measured latency per token is scaled by the weight to
+produce execution time (see :mod:`repro.cluster.server`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mem.address import AddressSpace, Region
+from repro.workloads.microservices import ServiceProfile
+
+#: Cache lines per 4 KB page at 64 B lines.
+LINES_PER_PAGE = 64
+#: Services touch a hot subset of lines within each page (object headers,
+#: hot fields): sampling only these keeps the modeled line working set in
+#: the realistic few-thousand-line range that makes microservice working
+#: sets effectively small (Section 3).
+HOT_LINES_PER_PAGE = 8
+#: Exponent of the page-popularity skew: page = N * u**SKEW.
+PAGE_SKEW = 2.5
+#: How many private-region generations are kept before page reuse: models
+#: the allocator recycling freed invocation pages.
+PRIVATE_POOL = 4
+
+#: Fraction of data references that are stores.
+WRITE_FRACTION = 0.3
+
+Access = Tuple[int, bool, bool, bool]  # (address, shared, is_instr, is_write)
+
+
+class ServiceMemory:
+    """Address regions and access sampling for one service instance."""
+
+    def __init__(self, space: AddressSpace, profile: ServiceProfile):
+        self.profile = profile
+        self.instr = space.alloc(profile.instruction_pages, shared=True)
+        self.shared = space.alloc(profile.shared_pages, shared=True)
+        self.private_pool: List[Region] = [
+            space.alloc(profile.private_pages, shared=False) for _ in range(PRIVATE_POOL)
+        ]
+        self._next_private = 0
+
+    def new_invocation(self) -> Region:
+        """Private region for a fresh invocation (cycled from the pool)."""
+        region = self.private_pool[self._next_private]
+        self._next_private = (self._next_private + 1) % len(self.private_pool)
+        return region
+
+    def sample(
+        self, rng: np.random.Generator, n: int, private: Region
+    ) -> List[Access]:
+        """Sample ``n`` accesses for one compute segment.
+
+        Mix: ~30% instruction fetches (always shared), the rest data split
+        between shared and private pages per the profile.
+        """
+        if n <= 0:
+            return []
+        kind = rng.random(n)
+        page_u = rng.random(n) ** PAGE_SKEW
+        line = rng.integers(0, HOT_LINES_PER_PAGE, n)
+        is_write = rng.random(n) < WRITE_FRACTION
+        shared_frac = self.profile.shared_ref_fraction
+        out: List[Access] = []
+        for i in range(n):
+            k = kind[i]
+            if k < 0.30:
+                region, instr = self.instr, True
+            elif k < 0.30 + 0.70 * shared_frac:
+                region, instr = self.shared, False
+            else:
+                region, instr = private, False
+            page = int(page_u[i] * region.num_pages)
+            if page >= region.num_pages:
+                page = region.num_pages - 1
+            addr = region.line_addr(page, int(line[i]))
+            # Instruction fetches and shared read-mostly pages don't write.
+            write = bool(is_write[i]) and not instr and not region.shared
+            out.append((addr, region.shared, instr, write))
+        return out
+
+
+class BatchMemory:
+    """Address regions and access sampling for a batch job.
+
+    Batch jobs have larger footprints and weaker locality than services;
+    ``skew`` close to 1.0 means near-uniform page access (graph workloads),
+    larger values mean a hot core (training loops).
+    """
+
+    def __init__(self, space: AddressSpace, code_pages: int, data_pages: int, skew: float):
+        if skew < 1.0:
+            raise ValueError(f"skew must be >= 1.0, got {skew}")
+        self.code = space.alloc(code_pages, shared=True)
+        self.data = space.alloc(data_pages, shared=False)
+        self.skew = skew
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[Access]:
+        if n <= 0:
+            return []
+        kind = rng.random(n)
+        page_u = rng.random(n) ** self.skew
+        line = rng.integers(0, 2 * HOT_LINES_PER_PAGE, n)
+        is_write = rng.random(n) < WRITE_FRACTION
+        out: List[Access] = []
+        for i in range(n):
+            if kind[i] < 0.2:
+                region, instr = self.code, True
+            else:
+                region, instr = self.data, False
+            page = int(page_u[i] * region.num_pages)
+            if page >= region.num_pages:
+                page = region.num_pages - 1
+            write = bool(is_write[i]) and not instr
+            out.append(
+                (region.line_addr(page, int(line[i])), region.shared, instr, write)
+            )
+        return out

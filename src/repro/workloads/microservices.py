@@ -1,0 +1,131 @@
+"""Microservice profiles standing in for the DeathStarBench SocialNet
+services (Section 5).
+
+Each profile captures what the simulation needs about a service:
+
+* CPU demand per request (lognormal around ``mean_exec_us``, split across
+  ``blocking_calls + 1`` compute segments);
+* synchronous blocking-I/O behaviour (number of calls, backend time —
+  inter-server RT plus profiled backend execution, as in the paper);
+* memory footprint: shared pages (code, libraries, pre-fork data), private
+  pages per invocation, and memory-reference density;
+* arrival rate (requests/s per allocated core; the paper's 65-250 RPS) and
+  burstiness (Markov-modulated bursts, matching the Alibaba load spikes).
+
+The relative characters follow the paper's observations: ``User`` blocks on
+I/O frequently, ``HomeT`` operates mostly on shared pages, ``CPost`` is the
+long orchestration service, ``UrlShort`` is tiny and compute-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Statistical description of one microservice."""
+
+    name: str
+    #: Mean per-request CPU time (µs) excluding modeled memory stalls.
+    mean_exec_us: float
+    #: Coefficient of variation of per-request CPU time.
+    exec_cv: float
+    #: Mean number of synchronous blocking I/O calls per request.
+    blocking_calls: float
+    #: Mean per-call backend time (µs), on top of the 1 µs network RT.
+    io_us: float
+    #: CV of backend time.
+    io_cv: float
+    #: Open-loop arrival rate per allocated core (requests/s).
+    rps_per_core: float
+    #: Burst behaviour: rate multiplier and mean dwell times (ms).
+    burst_multiplier: float
+    burst_dwell_ms: float
+    normal_dwell_ms: float
+    #: Footprint: 4 KB pages shared across invocations vs private per one.
+    shared_pages: int
+    private_pages: int
+    instruction_pages: int
+    #: Memory references per µs of CPU time that leave the core (model
+    #: tokens; converts sampled access latency into execution time).
+    mem_refs_per_us: float
+    #: Fraction of data references that target shared pages.
+    shared_ref_fraction: float
+
+    def segments(self) -> int:
+        """Compute segments per request (blocking calls + 1)."""
+        return int(round(self.blocking_calls)) + 1
+
+
+def _p(name, exec_us, cv, blocks, io_us, io_cv, rps, burst, bdwell, ndwell,
+       shared, private, instr, refs, shared_frac) -> ServiceProfile:
+    return ServiceProfile(
+        name=name,
+        mean_exec_us=exec_us,
+        exec_cv=cv,
+        blocking_calls=blocks,
+        io_us=io_us,
+        io_cv=io_cv,
+        rps_per_core=rps,
+        burst_multiplier=burst,
+        burst_dwell_ms=bdwell,
+        normal_dwell_ms=ndwell,
+        shared_pages=shared,
+        private_pages=private,
+        instruction_pages=instr,
+        mem_refs_per_us=refs,
+        shared_ref_fraction=shared_frac,
+    )
+
+
+#: The eight SocialNet services of the evaluation, in figure order.
+SERVICES: Tuple[ServiceProfile, ...] = (
+    _p("Text",     300, 0.25, 1, 120, 0.35, 450, 5.0,  40, 560, 170,  40, 60, 12, 0.60),
+    _p("SGraph",   370, 0.28, 2, 160, 0.35, 285, 4.5,  45, 540, 200,  60, 60, 11, 0.55),
+    _p("User",     200, 0.22, 3, 220, 0.35, 405, 5.0,  35, 520, 140,  28, 48, 13, 0.62),
+    _p("PstStr",   400, 0.30, 2, 260, 0.40, 225, 4.0,  50, 560, 250,  80, 60, 10, 0.50),
+    _p("UsrMnt",   170, 0.22, 1, 100, 0.35, 360, 5.5,  32, 540, 120,  20, 40, 12, 0.65),
+    _p("HomeT",    470, 0.28, 2, 180, 0.35, 240, 4.5,  45, 560, 380,  20, 56, 11, 0.80),
+    _p("CPost",    670, 0.30, 3, 200, 0.35, 165, 4.0,  55, 580, 320, 100, 72, 10, 0.55),
+    _p("UrlShort",  85, 0.20, 0,   0, 0.00, 195, 6.0,  28, 520,  80,  14, 28, 14, 0.70),
+)
+
+SERVICE_BY_NAME: Dict[str, ServiceProfile] = {s.name: s for s in SERVICES}
+
+#: Display order used by every per-service figure in the paper.
+SERVICE_NAMES: Tuple[str, ...] = tuple(s.name for s in SERVICES)
+
+
+def draw_exec_time_us(profile: ServiceProfile, rng: np.random.Generator) -> float:
+    """One request's CPU demand (µs), lognormal with the profile's CV."""
+    cv = profile.exec_cv
+    sigma = np.sqrt(np.log(1.0 + cv * cv))
+    mu = np.log(profile.mean_exec_us) - 0.5 * sigma * sigma
+    return float(rng.lognormal(mu, sigma))
+
+
+def draw_io_time_us(profile: ServiceProfile, rng: np.random.Generator) -> float:
+    """One blocking call's backend time (µs), excluding the network RT."""
+    if profile.io_us <= 0:
+        return 0.0
+    cv = max(profile.io_cv, 1e-6)
+    sigma = np.sqrt(np.log(1.0 + cv * cv))
+    mu = np.log(profile.io_us) - 0.5 * sigma * sigma
+    return float(rng.lognormal(mu, sigma))
+
+
+def draw_blocking_calls(profile: ServiceProfile, rng: np.random.Generator) -> int:
+    """Number of blocking calls for one request.
+
+    The mean is the profile's ``blocking_calls``; dispersion is +/-1 call
+    (clipped at zero) so services keep their character without heavy tails.
+    """
+    base = profile.blocking_calls
+    if base <= 0:
+        return 0
+    jitter = rng.integers(-1, 2)  # -1, 0, +1
+    return max(0, int(round(base)) + int(jitter))

@@ -1,0 +1,60 @@
+"""Workload suites: named sets of service profiles.
+
+The paper's evaluation uses the SocialNet services of DeathStarBench, but
+its profiling (Section 4.2.2) covers DeathStarBench, TrainTicket, and
+µSuite — the shared/private page structure and small working sets hold
+across suites. This module makes the suite a first-class choice:
+
+* ``socialnet`` — the paper's evaluation workload (the default).
+* ``hotel`` — a hotelReservation-style suite (Search/Geo/Rate/Reserve/...)
+  with a different blocking structure (search fan-out, reservation
+  transactions) for generalization studies.
+
+Select with ``SimulationConfig(suite="hotel")``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.microservices import SERVICES, ServiceProfile, _p
+
+#: DeathStarBench hotelReservation-like services. Search fans out to Geo
+#: and Rate (block-heavy); Reserve is transactional (long backend calls);
+#: Recommend/Profile are read-mostly cache hitters.
+HOTEL_SERVICES: Tuple[ServiceProfile, ...] = (
+    _p("Frontend",  180, 0.22, 2, 140, 0.35, 300, 5.0,  40, 560, 150,  30, 50, 12, 0.65),
+    _p("Search",    340, 0.26, 3, 190, 0.35, 180, 5.0,  40, 540, 220,  50, 60, 11, 0.55),
+    _p("Geo",       150, 0.22, 1, 110, 0.35, 260, 5.5,  35, 540, 110,  18, 36, 13, 0.70),
+    _p("Rate",      210, 0.24, 1, 160, 0.35, 230, 5.0,  38, 550, 140,  24, 44, 12, 0.62),
+    _p("Reserve",   480, 0.30, 3, 420, 0.40,  70, 4.0,  50, 580, 260,  90, 64, 10, 0.48),
+    _p("Profile",   160, 0.22, 1, 120, 0.35, 240, 5.5,  35, 540, 130,  20, 40, 12, 0.68),
+    _p("Recommend", 290, 0.26, 1, 150, 0.35, 150, 4.5,  42, 560, 200,  40, 56, 11, 0.60),
+    _p("Review",    380, 0.28, 2, 260, 0.38,  95, 4.5,  45, 560, 240,  70, 60, 10, 0.52),
+)
+
+#: Backend routing for the hotel suite (Memcached for read-mostly caches,
+#: MongoDB for reservations/reviews, Redis for rates/geo indices).
+HOTEL_BACKENDS: Dict[str, str] = {
+    "Frontend": "memcached",
+    "Search": "redis",
+    "Geo": "redis",
+    "Rate": "redis",
+    "Reserve": "mongodb",
+    "Profile": "memcached",
+    "Recommend": "memcached",
+    "Review": "mongodb",
+}
+
+SUITES: Dict[str, Tuple[ServiceProfile, ...]] = {
+    "socialnet": SERVICES,
+    "hotel": HOTEL_SERVICES,
+}
+
+
+def get_suite(name: str) -> Tuple[ServiceProfile, ...]:
+    """The service profiles of a named suite."""
+    suite = SUITES.get(name)
+    if suite is None:
+        raise ValueError(f"unknown suite {name!r}; choose from {sorted(SUITES)}")
+    return suite

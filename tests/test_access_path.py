@@ -1,0 +1,99 @@
+"""Golden behaviors of the per-core access path (latency ordering, policy
+wiring, infinite mode, DRAM interaction)."""
+
+import pytest
+
+from repro.config import (
+    HierarchyConfig,
+    MemoryConfig,
+    PartitionConfig,
+    ReplacementKind,
+)
+from repro.mem.dram import DramModel
+from repro.mem.hierarchy import CoreMemory, build_llc
+from repro.mem.replacement import HardHarvestPolicy, LruPolicy, RripPolicy
+from repro.sim.units import cycles_to_ns
+
+
+@pytest.fixture()
+def llc():
+    return build_llc("llc", HierarchyConfig(), 4)
+
+
+def make(kind=ReplacementKind.LRU, enabled=False):
+    part = PartitionConfig(enabled=enabled, replacement=kind)
+    return CoreMemory(HierarchyConfig(), part, DramModel(MemoryConfig()))
+
+
+def test_latency_strictly_ordered_by_level(llc):
+    """L1 hit < L2 hit < LLC hit < DRAM for the same address."""
+    h = HierarchyConfig()
+    mem = make()
+    addr = 0x8000
+    dram_lat = mem.access(addr, False, False, llc, True, 0)     # cold: DRAM
+    l1_lat = mem.access(addr, False, False, llc, True, 0)       # L1 hit
+    # Evict from L1 only: conflict addresses in the same L1 set.
+    l1_sets = mem.l1d.array.num_sets
+    for i in range(1, h.l1d.ways + 1):
+        mem.access(addr + i * l1_sets * 64, False, False, llc, True, 0)
+    l2_lat = mem.access(addr, False, False, llc, True, 0)       # L2 hit
+    # Flush private caches: next access hits the (unflushed) LLC.
+    mem.flush_private_full()
+    llc_lat = mem.access(addr, False, False, llc, True, 0)
+    assert l1_lat < l2_lat < llc_lat < dram_lat
+    assert dram_lat >= MemoryConfig().access_ns
+
+
+def test_policy_wiring_matches_replacement_kind():
+    assert isinstance(make(ReplacementKind.LRU).l2.array.policy, LruPolicy)
+    assert isinstance(make(ReplacementKind.RRIP).l2.array.policy, RripPolicy)
+    hh = make(ReplacementKind.HARDHARVEST, enabled=True)
+    policy = hh.l2.array.policy
+    assert isinstance(policy, HardHarvestPolicy)
+    assert policy.harvest_mask == hh.part_l2.harvest
+
+
+def test_tlb_miss_pays_page_walk(llc):
+    mem = make()
+    h = HierarchyConfig()
+    # Touch enough distinct pages to overflow both TLBs, then measure a
+    # fresh page: the latency includes the page-walk cycles.
+    walk_ns = cycles_to_ns(h.memory.page_walk_cycles, h.freq_ghz)
+    lat = mem.access(0x100000, False, False, llc, True, 0)
+    assert lat >= walk_ns
+
+
+def test_infinite_mode_ignores_capacity(llc):
+    from dataclasses import replace
+
+    cfg = replace(HierarchyConfig(), infinite=True)
+    mem = CoreMemory(cfg, PartitionConfig(), DramModel(MemoryConfig()))
+    lats = {mem.access(i * 4096 * 97, False, False, llc, True, 0) for i in range(50)}
+    assert len(lats) == 1  # constant latency regardless of footprint
+
+
+def test_dram_counts_only_llc_misses(llc):
+    mem = make()
+    dram = mem.dram
+    mem.access(0xA000, False, False, llc, True, 0)
+    assert dram.accesses == 1
+    mem.access(0xA000, False, False, llc, True, 0)
+    assert dram.accesses == 1  # L1 hit: no memory traffic
+
+
+def test_writes_propagate_dirty_to_l1(llc):
+    mem = make()
+    mem.access(0xB000, False, False, llc, True, 0, write=True)
+    set_index, tag = mem.l1d.locate(0xB000)
+    cset = mem.l1d.array.sets[set_index]
+    way = cset.find(tag, (1 << mem.l1d.array.ways) - 1)
+    assert cset.dirty[way]
+
+
+def test_flush_then_llc_warm_restart_cheaper_than_dram(llc):
+    mem = make()
+    addr = 0xC000
+    cold = mem.access(addr, False, False, llc, True, 0)
+    mem.flush_private_full()
+    warmish = mem.access(addr, False, False, llc, True, 0)
+    assert warmish < cold  # LLC partition survived the private flush

@@ -1,0 +1,99 @@
+"""Tests for the adaptive harvesting trigger (Section 4.1.5 future work)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.experiment import run_server, run_server_raw
+from repro.core.presets import hardharvest_block
+from repro.harvest.adaptive import AdaptiveAgent
+from repro.sim.units import US
+
+FAST = SimulationConfig(horizon_ms=100, warmup_ms=20, accesses_per_segment=10, seed=5)
+
+
+def adaptive_system(**kw):
+    return replace(hardharvest_block(), adaptive_trigger=True, **kw)
+
+
+class TestAgentUnit:
+    def test_term_always_lendable(self):
+        agent = AdaptiveAgent()
+
+        class FakeCore:
+            owner_vm_id = 0
+
+        assert agent.on_core_idle(FakeCore(), "term") is True
+
+    def test_short_blocks_suppress_lending(self):
+        agent = AdaptiveAgent(min_worthwhile_block_ns=100 * US)
+
+        class FakeCore:
+            owner_vm_id = 0
+
+        for _ in range(20):
+            agent.observe_block(0, 10 * US)  # short blocks
+        assert agent.on_core_idle(FakeCore(), "block") is False
+        assert agent.block_lends_suppressed == 1
+
+    def test_long_blocks_allow_lending(self):
+        agent = AdaptiveAgent(min_worthwhile_block_ns=100 * US)
+
+        class FakeCore:
+            owner_vm_id = 0
+
+        for _ in range(20):
+            agent.observe_block(0, 500 * US)
+        assert agent.on_core_idle(FakeCore(), "block") is True
+
+    def test_unobserved_vm_defaults_to_lending(self):
+        agent = AdaptiveAgent(min_worthwhile_block_ns=100 * US)
+
+        class FakeCore:
+            owner_vm_id = 7
+
+        # No observations yet: typical block is unknown (infinite).
+        assert agent.on_core_idle(FakeCore(), "block") is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveAgent(min_worthwhile_block_ns=-1)
+
+
+class TestAdaptiveInSystem:
+    def test_agent_selected_and_fed(self):
+        sim = run_server_raw(adaptive_system(), FAST)
+        assert sim.agent.name == "hardharvest-adaptive"
+        # The engine fed blocking observations for blocking services.
+        assert sim.agent._block_ewma  # populated
+        # UrlShort (vm 7) never blocks; User (vm 2) does.
+        assert 2 in sim.agent._block_ewma
+
+    def test_adaptive_between_term_and_block(self):
+        """With a high worthwhile-block threshold, the adaptive agent lends
+        less than plain Block mode but still more than Term mode."""
+        block = run_server(hardharvest_block(), FAST)
+        adaptive = run_server(adaptive_system(), FAST)
+        assert 0 < adaptive.counters["lends"] <= block.counters["lends"]
+
+    def test_high_threshold_suppresses_block_lends(self):
+        sim = run_server_raw(adaptive_system(), FAST)
+        # Default threshold (50 µs) is below every service's typical block
+        # (>= 100 µs), so nothing is suppressed...
+        assert sim.agent.block_lends_suppressed == 0
+
+        import repro.harvest.adaptive as adaptive_mod
+
+        class Strict(adaptive_mod.AdaptiveAgent):
+            def __init__(self):
+                super().__init__(min_worthwhile_block_ns=10_000_000)
+
+        orig = adaptive_mod.AdaptiveAgent
+        adaptive_mod.AdaptiveAgent = Strict
+        try:
+            sim2 = run_server_raw(adaptive_system(), FAST)
+        finally:
+            adaptive_mod.AdaptiveAgent = orig
+        assert sim2.agent.block_lends_suppressed > 0
+        assert sim2.counters["lends"] < sim.counters["lends"]

@@ -1,0 +1,95 @@
+"""Tests for the backend tier (Memcached/Redis/MongoDB servers)."""
+
+import pytest
+
+from repro.cluster.backend import (
+    DEFAULT_WORKERS,
+    SERVICE_BACKEND,
+    BackendService,
+    BackendTier,
+)
+from repro.config import SimulationConfig
+from repro.core.experiment import run_server_raw
+from repro.core.presets import noharvest
+from repro.sim.engine import Simulator
+from repro.workloads.microservices import SERVICE_NAMES
+
+
+class TestBackendService:
+    def test_parallel_workers_no_queueing(self):
+        sim = Simulator()
+        backend = BackendService(sim, "m", workers=2)
+        done = []
+        backend.submit(100, lambda: done.append(sim.now))
+        backend.submit(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [100, 100]
+        assert backend.mean_queue_us() == 0.0
+
+    def test_queueing_when_saturated(self):
+        sim = Simulator()
+        backend = BackendService(sim, "m", workers=1)
+        done = []
+        for _ in range(3):
+            backend.submit(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [100, 200, 300]
+        assert backend.max_queue_depth == 2
+        # Two calls queued: 100 ns and 200 ns of queueing over 3 calls.
+        assert backend.mean_queue_us() == pytest.approx(0.1)
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        backend = BackendService(sim, "m", workers=1)
+        order = []
+        backend.submit(50, lambda: order.append("a"))
+        backend.submit(10, lambda: order.append("b"))
+        backend.submit(10, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendService(Simulator(), "m", workers=0)
+
+
+class TestBackendTier:
+    def test_every_service_has_a_backend(self):
+        assert set(SERVICE_BACKEND) == set(SERVICE_NAMES)
+        tier = BackendTier(Simulator())
+        for name in SERVICE_NAMES:
+            assert tier.for_service(name).name in DEFAULT_WORKERS
+
+    def test_custom_sizing(self):
+        tier = BackendTier(Simulator(), workers={"mongodb": 2})
+        assert tier.services["mongodb"].workers == 2
+        assert tier.services["redis"].workers == DEFAULT_WORKERS["redis"]
+
+
+class TestBackendInEngine:
+    def test_blocking_calls_hit_backends(self):
+        cfg = SimulationConfig(horizon_ms=80, warmup_ms=10,
+                               accesses_per_segment=8, seed=4)
+        sim = run_server_raw(noharvest(), cfg)
+        stats = sim.backends.stats()
+        total_calls = sum(s["calls"] for s in stats.values())
+        # Every blocking call of every completed request went to a backend.
+        assert total_calls > 500
+        assert stats["mongodb"]["calls"] > 0
+        assert stats["memcached"]["calls"] > 0
+        assert stats["redis"]["calls"] > 0
+
+    def test_undersized_backend_congests_and_inflates_latency(self):
+        cfg = SimulationConfig(horizon_ms=80, warmup_ms=10,
+                               accesses_per_segment=8, seed=4)
+        normal = run_server_raw(noharvest(), cfg)
+        tiny = run_server_raw(noharvest(), cfg)
+        # Rebuild the tiny run with a choked mongodb tier.
+        from repro.cluster.server import ServerSimulation
+
+        sim2 = ServerSimulation(noharvest(), cfg)
+        sim2.backends = BackendTier(sim2.sim, workers={"mongodb": 1})
+        sim2.run()
+        assert sim2.backends.services["mongodb"].mean_queue_us() > 0
+        # MongoDB-bound services (User, PstStr, CPost) get slower.
+        assert sim2.latency["User"].p99() > normal.latency["User"].p99()

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_storage_command(capsys):
+    assert main(["storage"]) == 0
+    out = capsys.readouterr().out
+    assert "controller storage" in out
+    assert "18.95" in out
+
+
+def test_run_command_fast(capsys):
+    rc = main(["run", "--system", "NoHarvest", "--horizon-ms", "60",
+               "--accesses", "8", "--seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "avg P99 latency" in out
+    assert "busy cores" in out
+
+
+def test_cluster_command_fast(capsys):
+    rc = main(["cluster", "--system", "NoHarvest", "--servers", "2",
+               "--horizon-ms", "60", "--accesses", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "across 2 servers" in out
+    assert "cluster avg P99" in out
+
+
+def test_unknown_system_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--system", "NotASystem"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.system == "HardHarvest-Block"
+    assert args.horizon_ms == 300.0

@@ -1,0 +1,166 @@
+"""Tests for the HardHarvest controller, QMs, VM state, context memory."""
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.hw.context import RequestContextMemory, SavedContext
+from repro.hw.controller import HardHarvestController
+from repro.hw.noc import ControlTree, MeshNetwork
+from repro.hw.queue_manager import HarvestMaskRegister
+from repro.hw.vm_state import NAMED_REGISTERS, VmStateRegisterSet
+
+
+def make_controller():
+    return HardHarvestController(ControllerConfig(), num_cores=36)
+
+
+class TestControllerLifecycle:
+    def test_register_allocates_proportional_chunks(self):
+        ctrl = make_controller()
+        qm1 = ctrl.register_vm(0, True, 4)
+        # First VM: all bound cores are its own -> all 32 chunks.
+        assert len(qm1.subqueue.rq_map) == 32
+        qm2 = ctrl.register_vm(1, True, 4)
+        # Second VM: half the cores -> gets 16 chunks from VM 0's tail.
+        assert len(qm2.subqueue.rq_map) == 16
+        assert ctrl.rq.chunk_owner_invariant()
+
+    def test_full_server_registration(self):
+        """8 Primary VMs (4 cores) + 1 Harvest VM (4 cores): paper setup."""
+        ctrl = make_controller()
+        for vm in range(8):
+            ctrl.register_vm(vm, True, 4)
+        ctrl.register_vm(8, False, 4)
+        assert len(ctrl.primary_qms()) == 8
+        assert len(ctrl.harvest_qms()) == 1
+        assert ctrl.rq.chunk_owner_invariant()
+        # Each VM ends up with at least one chunk.
+        for qm in ctrl.qms.values():
+            assert len(qm.subqueue.rq_map) >= 1
+
+    def test_qm_limit_enforced(self):
+        ctrl = HardHarvestController(
+            ControllerConfig(num_queue_managers=2), num_cores=8
+        )
+        ctrl.register_vm(0, True, 2)
+        ctrl.register_vm(1, True, 2)
+        with pytest.raises(RuntimeError):
+            ctrl.register_vm(2, True, 2)
+
+    def test_deregister_frees_qm(self):
+        ctrl = make_controller()
+        ctrl.register_vm(0, True, 4)
+        ctrl.register_vm(1, True, 4)
+        ctrl.deregister_vm(0)
+        with pytest.raises(KeyError):
+            ctrl.qm_for(0)
+        assert ctrl.rq.chunk_owner_invariant()
+
+    def test_deliver_routes_to_right_subqueue(self):
+        ctrl = make_controller()
+        ctrl.register_vm(0, True, 4)
+        ctrl.register_vm(1, True, 4)
+        ctrl.deliver(1, "req-a")
+        assert ctrl.qm_for(1).has_ready()
+        assert not ctrl.qm_for(0).has_ready()
+        assert ctrl.qm_for(1).dequeue() == "req-a"
+
+
+class TestQueueManagerLoans:
+    def test_lend_and_reclaim_bookkeeping(self):
+        ctrl = make_controller()
+        qm = ctrl.register_vm(0, True, 4)
+        qm.bind_core(3)
+        qm.lend_core(3)
+        assert 3 in qm.on_loan
+        with pytest.raises(ValueError):
+            qm.lend_core(3)  # already on loan
+        qm.reclaim_core(3)
+        assert 3 not in qm.on_loan
+        with pytest.raises(ValueError):
+            qm.reclaim_core(3)
+
+    def test_lend_unbound_core_rejected(self):
+        ctrl = make_controller()
+        qm = ctrl.register_vm(0, True, 4)
+        with pytest.raises(ValueError):
+            qm.lend_core(7)
+
+
+class TestVmStateRegisters:
+    def test_named_registers_distinct_per_vm(self):
+        a, b = VmStateRegisterSet(), VmStateRegisterSet()
+        a.load_for_vm(1)
+        b.load_for_vm(2)
+        assert a.read("CR3") != b.read("CR3")
+        assert set(a.snapshot()) == set(NAMED_REGISTERS)
+
+    def test_register_width_enforced(self):
+        regs = VmStateRegisterSet()
+        with pytest.raises(ValueError):
+            regs.write("CR0", 1 << 64)
+
+    def test_spare_slots_bounded(self):
+        regs = VmStateRegisterSet(num_registers=8)
+        regs.write("EXTRA", 1)
+        with pytest.raises(KeyError):
+            regs.write("TOO_MANY_%d" % 99, 1)  # only 1 spare beyond named
+
+    def test_storage_bytes(self):
+        assert VmStateRegisterSet(16, 8).storage_bytes == 128
+
+
+class TestHarvestMask:
+    def test_set_get(self):
+        m = HarvestMaskRegister()
+        m.set_mask("l2", 0b1111)
+        assert m.get_mask("l2") == 0b1111
+        with pytest.raises(KeyError):
+            m.set_mask("l9", 1)
+        with pytest.raises(ValueError):
+            m.set_mask("l2", 1 << 16)
+        assert m.storage_bytes == 5
+
+
+class TestContextMemory:
+    def test_save_restore_roundtrip(self):
+        mem = RequestContextMemory(capacity=2)
+        ctx = SavedContext(request="r", vm_id=3, program_counter=99)
+        slot = mem.save(ctx)
+        assert mem.occupancy == 1
+        restored = mem.restore(slot)
+        assert restored.program_counter == 99
+        assert mem.occupancy == 0
+        with pytest.raises(KeyError):
+            mem.restore(slot)
+
+    def test_capacity_enforced(self):
+        mem = RequestContextMemory(capacity=1)
+        mem.save(SavedContext("a", 0))
+        with pytest.raises(RuntimeError):
+            mem.save(SavedContext("b", 0))
+
+    def test_highwater(self):
+        mem = RequestContextMemory(capacity=4)
+        slots = [mem.save(SavedContext(i, 0)) for i in range(3)]
+        for s in slots:
+            mem.restore(s)
+        assert mem.highwater == 3
+
+
+class TestNoc:
+    def test_mesh_hops(self):
+        mesh = MeshNetwork(36, hop_cycles=5, freq_ghz=3.0)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 35) == 10  # corner to corner of 6x6
+        assert mesh.latency_ns(0, 35) == pytest.approx(50 / 3, abs=1)
+
+    def test_mesh_out_of_range(self):
+        mesh = MeshNetwork(36, 5, 3.0)
+        with pytest.raises(ValueError):
+            mesh.hops(0, 36)
+
+    def test_control_tree_log_depth(self):
+        tree = ControlTree(36, 3.0)
+        assert tree.levels == 6
+        assert tree.latency_ns() == 2

@@ -1,0 +1,157 @@
+"""Tests for the transition cost model (lend/reclaim/dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    FlushScope,
+    HierarchyConfig,
+    MemoryConfig,
+    OptimizationFlags,
+    PartitionConfig,
+    ReplacementKind,
+    SoftwareCosts,
+    SystemConfig,
+)
+from repro.harvest.costs import CostModel
+from repro.mem.dram import DramModel
+from repro.mem.hierarchy import CoreMemory
+from repro.sim.units import MS, US
+
+
+def make_memory(partition=None):
+    return CoreMemory(
+        HierarchyConfig(), partition or PartitionConfig(), DramModel(MemoryConfig())
+    )
+
+
+def software_system(**kw):
+    return SystemConfig(flush_scope=FlushScope.FULL, **kw)
+
+
+def hardware_system(flush=True, background=True):
+    from dataclasses import replace
+
+    cfg = SystemConfig(
+        hardware_scheduling=True,
+        flags=OptimizationFlags.all(),
+        flush_scope=FlushScope.HARVEST_REGION,
+        partition=PartitionConfig(
+            enabled=True, replacement=ReplacementKind.HARDHARVEST
+        ),
+    )
+    if not flush:
+        cfg = replace(cfg, flags=OptimizationFlags(True, True, True, True, False, True))
+    if not background:
+        cfg = replace(cfg, flush_costs=replace(cfg.flush_costs, background_region_flush=False))
+    return cfg
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestSoftwareCosts:
+    def test_reclaim_includes_detach_context_flush(self):
+        model = CostModel(software_system())
+        cost = model.reclaim_cost(make_memory())
+        sw = model.sw
+        assert cost.reassign_ns >= sw.detach_attach_ns + sw.context_switch_ns
+        assert cost.flush_ns == model.fl.full_flush_ns
+
+    def test_reclaim_detection_delay_with_rng(self):
+        model = CostModel(software_system())
+        sw = model.sw
+        samples = [
+            model.reclaim_cost(make_memory(), np.random.default_rng(i)).reassign_ns
+            for i in range(50)
+        ]
+        base = sw.detach_attach_ns + sw.context_switch_ns
+        extras = [s - base for s in samples]
+        assert min(extras) >= 0
+        assert max(extras) > sw.reclaim_detect_ns / 2
+        assert len(set(extras)) > 10  # genuinely random
+
+    def test_flush_applies_full_invalidation(self):
+        model = CostModel(software_system())
+        mem = make_memory()
+        from repro.mem.hierarchy import build_llc
+
+        llc = build_llc("llc", HierarchyConfig(), 4)
+        mem.access(0x1000, False, False, llc, True, 0)
+        cost = model.reclaim_cost(mem)
+        cost.flush()
+        assert mem.l1d.array.occupancy() == 0
+
+    def test_dispatch_has_polling_delay(self):
+        model = CostModel(software_system())
+        delays = [model.dispatch_ns(np.random.default_rng(i)) for i in range(100)]
+        sw = SoftwareCosts()
+        floor = sw.queue_access_ns + sw.request_switch_ns
+        assert min(delays) >= floor
+        mean = sum(delays) / len(delays)
+        assert mean > floor + sw.dispatch_delay_ns * 0.5
+
+
+class TestHardwareCosts:
+    def test_reclaim_is_tens_of_ns_with_background_flush(self):
+        model = CostModel(hardware_system())
+        cost = model.reclaim_cost(make_memory(model.system.partition))
+        assert cost.flush_ns == 0  # background
+        assert cost.critical_ns < 1 * US
+
+    def test_lend_flush_on_harvest_critical_path(self):
+        model = CostModel(hardware_system())
+        cost = model.lend_cost(make_memory(model.system.partition))
+        # 1000 cycles at 3 GHz = 333 ns: the side-channel gate.
+        assert 200 < cost.flush_ns < 500
+
+    def test_partition_without_efficient_flush_pays_proportional_cost(self):
+        model = CostModel(hardware_system(flush=False))
+        cost = model.reclaim_cost(make_memory(model.system.partition))
+        expected = int(model.fl.full_flush_ns * model.system.partition.harvest_fraction)
+        assert cost.flush_ns == expected
+
+    def test_region_flush_only_touches_harvest_ways(self):
+        model = CostModel(hardware_system())
+        mem = make_memory(model.system.partition)
+        from repro.mem.hierarchy import build_llc
+
+        llc = build_llc("llc", HierarchyConfig(), 4)
+        # Shared entry -> non-harvest region.
+        mem.access(0x1000, True, False, llc, True, 0)
+        cost = model.reclaim_cost(mem)
+        cost.flush()
+        assert mem.l1d.probe(0x1000, mem.part_l1d.all_ways)
+
+    def test_hw_vs_sw_reclaim_gap_is_orders_of_magnitude(self):
+        hw = CostModel(hardware_system()).reclaim_cost(make_memory())
+        sw = CostModel(software_system()).reclaim_cost(
+            make_memory(), np.random.default_rng(1)
+        )
+        assert sw.critical_ns > 100 * hw.critical_ns
+
+
+class TestAblationPoints:
+    def test_sched_only_removes_hypervisor_but_keeps_sw_context(self):
+        flags = OptimizationFlags(sched=True)
+        model = CostModel(SystemConfig(flags=flags))
+        cost = model.reclaim_cost(make_memory())
+        # A few µs (hardware scheduling, software save/restore).
+        assert cost.reassign_ns < 10 * US
+
+    def test_ctxtsw_only_keeps_detach_cost(self):
+        flags = OptimizationFlags(ctxtsw=True)
+        model = CostModel(SystemConfig(flags=flags))
+        cost = model.reclaim_cost(make_memory(), np.random.default_rng(2))
+        # Detach/attach via hypervisor remains; context switch is hardware.
+        assert cost.reassign_ns >= model.sw.detach_attach_ns
+        assert cost.reassign_ns < model.sw.detach_attach_ns + 40 * MS
+
+    def test_queue_flag_lowers_dispatch(self):
+        base = CostModel(SystemConfig(flags=OptimizationFlags(sched=True)))
+        fast = CostModel(
+            SystemConfig(flags=OptimizationFlags(sched=True, queue=True, ctxtsw=True))
+        )
+        d_base = base.dispatch_ns(np.random.default_rng(0))
+        d_fast = fast.dispatch_ns(np.random.default_rng(0))
+        assert d_fast < d_base

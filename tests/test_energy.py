@@ -1,0 +1,53 @@
+"""Tests for the runtime energy model."""
+
+import pytest
+
+from repro.analysis.energy import EnergyReport, energy_per_batch_unit, estimate_energy
+from repro.config import SimulationConfig
+from repro.core.experiment import run_server_raw
+from repro.core.presets import fig4_no_move, hardharvest_block, noharvest
+
+FAST = SimulationConfig(horizon_ms=70, warmup_ms=10, accesses_per_segment=8, seed=6)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        "NoHarvest": run_server_raw(noharvest(), FAST),
+        "HardHarvest-Block": run_server_raw(hardharvest_block(), FAST),
+    }
+
+
+def test_energy_components_positive(runs):
+    report = estimate_energy(runs["NoHarvest"])
+    assert report.dynamic_j > 0
+    assert report.static_j > 0
+    assert report.core_active_j > 0
+    assert report.total_j == pytest.approx(
+        report.dynamic_j + report.static_j + report.core_active_j
+    )
+    assert report.average_power_w > 0
+
+
+def test_static_energy_dominates_idle_server(runs):
+    """A mostly-idle server's energy is leakage-dominated — the waste
+    harvesting attacks."""
+    report = estimate_energy(runs["NoHarvest"])
+    assert report.static_j > report.core_active_j
+
+
+def test_harvesting_improves_energy_proportionality(runs):
+    """HardHarvest uses more total power but far less energy per unit of
+    batch work — the energy-proportionality argument for harvesting."""
+    e_base = estimate_energy(runs["NoHarvest"])
+    e_hh = estimate_energy(runs["HardHarvest-Block"])
+    assert e_hh.average_power_w > e_base.average_power_w
+    assert energy_per_batch_unit(runs["HardHarvest-Block"]) < energy_per_batch_unit(
+        runs["NoHarvest"]
+    )
+
+
+def test_energy_per_unit_requires_batch_work():
+    sim = run_server_raw(fig4_no_move(), FAST)  # idle Harvest VM
+    with pytest.raises(ValueError):
+        energy_per_batch_unit(sim)

@@ -1,0 +1,112 @@
+"""Failure-injection and edge-case tests for the per-server engine."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    ControllerConfig,
+    HarvestTrigger,
+    SimulationConfig,
+    SoftwareCosts,
+)
+from repro.core.experiment import run_server, run_server_raw
+from repro.core.presets import (
+    fig5_flush,
+    harvest_block,
+    hardharvest_block,
+    noharvest,
+)
+
+TINY = SimulationConfig(horizon_ms=50, warmup_ms=10, accesses_per_segment=6, seed=23)
+
+
+def test_horizon_cap_catches_runaway_configs():
+    """Inject pathological software costs (seconds per reclaim): the run
+    hits the safety cap instead of hanging, and reports it."""
+    broken = replace(
+        harvest_block(),
+        software_costs=SoftwareCosts(
+            detach_attach_ns=2_000_000_000,  # 2 s per detach!
+            context_switch_ns=2_000_000_000,
+            dispatch_delay_ns=50_000,
+            queue_access_ns=2_000,
+            request_switch_ns=5_000,
+            reclaim_detect_ns=1_000_000_000,
+            rebalance_ns=30_000,
+            resteer_ns=8_000_000,
+        ),
+    )
+    res = run_server(broken, TINY)
+    # Either everything completed (got lucky) or the cap tripped — the
+    # run must terminate either way and say which.
+    assert res.simulated_seconds < 30
+    assert res.counters.get("horizon_cap_hit", 0) in (0, 1)
+
+
+def test_tiny_rq_overflows_into_memory():
+    """A deliberately undersized hardware RQ spills to the In-memory
+    Overflow Subqueue rather than dropping requests."""
+    small_rq = replace(
+        hardharvest_block(),
+        controller=ControllerConfig(num_chunks=9, entries_per_chunk=1),
+    )
+    sim = run_server_raw(small_rq, replace(TINY, load_scale=2.0))
+    assert sim.counters["queue_overflow_spills"] > 0
+    assert sim._completions == sim._target_completions  # nothing lost
+
+
+def test_zero_block_service_never_blocks():
+    sim = run_server_raw(noharvest(), TINY)
+    urlshort = next(vm for vm in sim.primary_vms if vm.name == "UrlShort")
+    rec = sim.latency["UrlShort"]
+    assert rec.count > 0
+    # UrlShort requests are single-segment: their breakdown has no
+    # post-block queueing spikes and its cores idled only on termination.
+    for core in urlshort.cores:
+        assert core.idle_cause in (None, "term")
+
+
+def test_flush_only_config_flushes_without_batch_work():
+    sim = run_server_raw(fig5_flush(HarvestTrigger.ON_BLOCK), TINY)
+    assert sim.counters["lends"] > 0
+    assert sim.harvest_vm.units_completed == 0
+    assert sim.batch_throughput_per_s() == 0.0
+
+
+def test_extreme_load_still_terminates():
+    res = run_server(noharvest(), replace(TINY, load_scale=6.0))
+    assert res.avg_p99_ms() > 0
+
+
+def test_single_access_fidelity_floor():
+    res = run_server(noharvest(), replace(TINY, accesses_per_segment=1))
+    assert res.avg_p99_ms() > 0
+
+
+def test_guest_cores_always_returned():
+    sim = run_server_raw(harvest_block(), replace(TINY, horizon_ms=80))
+    assert all(c.guest_vm_id is None for c in sim.cores)
+    borrows = sim.counters.get("buffer_borrows", 0)
+    returns = sim.counters.get("buffer_returns", 0)
+    assert returns <= borrows
+    # Guest continuation means one borrow can serve several requests, but
+    # every borrow eventually returns (none outstanding at the end).
+    if borrows:
+        assert returns > 0
+
+
+def test_warmup_excludes_early_requests():
+    full = run_server_raw(noharvest(), replace(TINY, warmup_ms=0.0))
+    cut = run_server_raw(noharvest(), replace(TINY, warmup_ms=25.0))
+    assert cut.latency_all.count < full.latency_all.count
+
+
+def test_counters_internally_consistent():
+    sim = run_server_raw(hardharvest_block(), TINY)
+    lends = sim.counters["lends"]
+    reclaims = sim.counters["reclaims"]
+    still_loaned = sum(
+        1 for c in sim.cores if c.on_loan and not c.reclaim_in_flight
+    )
+    assert lends == reclaims + still_loaned

@@ -1,0 +1,69 @@
+"""Engine fuzzing: random configurations must preserve the core invariants.
+
+A light hypothesis harness over the full per-server engine: whatever the
+load, fidelity, suite, or system, a run must terminate with every request
+accounted for, consistent loan bookkeeping, and non-negative time.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.cluster.server import ServerSimulation
+from repro.core.presets import all_systems
+
+SYSTEM_NAMES = list(all_systems())
+
+
+@given(
+    system_name=st.sampled_from(SYSTEM_NAMES),
+    seed=st.integers(0, 10_000),
+    load_scale=st.floats(0.3, 2.5),
+    accesses=st.integers(4, 16),
+    suite=st.sampled_from(["socialnet", "hotel"]),
+)
+@settings(max_examples=8, deadline=None)
+def test_random_configs_preserve_invariants(
+    system_name, seed, load_scale, accesses, suite
+):
+    simcfg = SimulationConfig(
+        horizon_ms=40,
+        warmup_ms=5,
+        accesses_per_segment=accesses,
+        seed=seed,
+        load_scale=load_scale,
+        suite=suite,
+    )
+    sim = ServerSimulation(all_systems()[system_name], simcfg)
+    sim.run()
+
+    # Conservation: every generated request completed; queues drained.
+    assert sim._completions == sim._target_completions
+    for vm in sim.primary_vms:
+        assert vm.queue.pending() == 0
+
+    # Loan bookkeeping balances: a run may stop with reclaims in flight
+    # (counted, not yet completed), so exclude those from "still loaned".
+    lends = sim.counters.get("lends", 0)
+    reclaims = sim.counters.get("reclaims", 0)
+    still_loaned = sum(
+        1 for c in sim.cores if c.on_loan and not c.reclaim_in_flight
+    )
+    assert lends == reclaims + still_loaned
+
+    # Guest cores all returned; states sane.
+    for core in sim.cores:
+        assert core.guest_vm_id is None
+        assert core.state in ("idle", "busy", "switching")
+
+    # Time sane; utilization within physical bounds.
+    assert 0 < sim.end_ns
+    busy = sim.average_busy_cores()
+    assert 0.0 <= busy <= len(sim.cores)
+
+    # Latencies recorded and positive wherever requests were measured.
+    for rec in sim.latency.values():
+        if rec.count:
+            assert rec.p50() > 0

@@ -1,0 +1,180 @@
+"""Integration tests: the full per-server engine under each system."""
+
+import pytest
+
+from repro.config import (
+    HarvestTrigger,
+    SimulationConfig,
+    SystemKind,
+)
+from repro.cluster.server import ServerSimulation
+from repro.core.experiment import run_server, run_server_raw, run_systems
+from repro.core.presets import (
+    all_systems,
+    build_system,
+    harvest_block,
+    harvest_term,
+    hardharvest_block,
+    hardharvest_term,
+    noharvest,
+)
+
+FAST = SimulationConfig(
+    horizon_ms=120, warmup_ms=20, accesses_per_segment=12, seed=7
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One fast run of each evaluated system on the identical workload."""
+    return run_systems(all_systems(), FAST)
+
+
+def test_all_requests_complete(results):
+    for name, res in results.items():
+        assert res.counters.get("horizon_cap_hit", 0) == 0, name
+        for svc, p99 in res.p99_ms.items():
+            assert p99 > 0, (name, svc)
+
+
+def test_identical_workload_across_systems():
+    """Same seed => same arrivals and demands regardless of the system."""
+    sims = [
+        ServerSimulation(noharvest(), FAST),
+        ServerSimulation(hardharvest_block(), FAST),
+    ]
+    counts = [sim._target_completions for sim in sims]
+    assert counts[0] == counts[1]
+
+
+def test_noharvest_never_lends(results):
+    assert results["NoHarvest"].counters.get("lends", 0) == 0
+    assert results["NoHarvest"].counters.get("reclaims", 0) == 0
+
+
+def test_harvesting_systems_do_lend(results):
+    for name in ("Harvest-Term", "Harvest-Block", "HardHarvest-Term", "HardHarvest-Block"):
+        assert results[name].counters.get("lends", 0) > 0, name
+
+
+def test_hardware_lends_far_more_than_software(results):
+    assert (
+        results["HardHarvest-Block"].counters["lends"]
+        > 5 * results["Harvest-Block"].counters["lends"]
+    )
+
+
+def test_block_mode_lends_more_than_term(results):
+    assert (
+        results["HardHarvest-Block"].counters["lends"]
+        > results["HardHarvest-Term"].counters["lends"]
+    )
+
+
+def test_utilization_ordering(results):
+    """NoHarvest < software < HardHarvest; Block >= Term for HardHarvest."""
+    busy = {k: r.avg_busy_cores for k, r in results.items()}
+    assert busy["NoHarvest"] < busy["Harvest-Term"]
+    assert busy["NoHarvest"] < busy["Harvest-Block"]
+    assert busy["Harvest-Term"] < busy["HardHarvest-Block"]
+    assert busy["HardHarvest-Term"] <= busy["HardHarvest-Block"] + 0.5
+
+
+def test_throughput_ordering(results):
+    thr = {k: r.batch_units_per_s for k, r in results.items()}
+    assert thr["NoHarvest"] < thr["Harvest-Term"]
+    assert thr["Harvest-Block"] < thr["HardHarvest-Block"]
+
+
+def test_hardharvest_tail_not_worse_than_noharvest(results):
+    assert (
+        results["HardHarvest-Block"].avg_p99_ms()
+        <= results["NoHarvest"].avg_p99_ms() * 1.05
+    )
+
+
+def test_software_tail_worse_than_hardharvest(results):
+    assert (
+        results["Harvest-Block"].avg_p99_ms()
+        > results["HardHarvest-Block"].avg_p99_ms()
+    )
+
+
+def test_breakdown_components_present(results):
+    res = results["Harvest-Block"]
+    total_reassign = sum(b.reassign_ns for b in res.breakdown.values())
+    assert total_reassign > 0
+    res0 = results["NoHarvest"]
+    assert sum(b.reassign_ns for b in res0.breakdown.values()) == 0
+    for b in res0.breakdown.values():
+        assert b.execution_ns > 0
+
+
+def test_build_system_presets():
+    for kind in SystemKind:
+        cfg = build_system(kind)
+        assert cfg.name == kind.value
+
+
+def test_run_server_raw_exposes_simulation():
+    sim = run_server_raw(noharvest(), FAST)
+    assert sim.end_ns > 0
+    assert len(sim.cores) == 36
+    assert len(sim.primary_vms) == 8
+    # 8*4 primary cores + 4 harvest base cores.
+    assert sum(len(vm.cores) for vm in sim.primary_vms) == 32
+    assert len(sim.harvest_vm.cores) == 4
+
+
+def test_queue_state_drained_at_end():
+    sim = run_server_raw(hardharvest_block(), FAST)
+    for vm in sim.primary_vms:
+        assert vm.queue.pending() == 0
+
+
+def test_conservation_of_requests():
+    sim = run_server_raw(harvest_block(), FAST)
+    assert sim._completions == sim._target_completions
+
+
+def test_loaned_cores_all_returned_or_tracked():
+    sim = run_server_raw(hardharvest_block(), FAST)
+    # At the end every core is in a consistent state.
+    for core in sim.cores:
+        assert core.state in ("idle", "busy", "switching")
+        if core.on_loan:
+            owner = sim.vms_by_id[core.owner_vm_id]
+            assert core in owner.loaned_cores()
+
+
+def test_smartharvest_agent_selected_for_software():
+    sim = ServerSimulation(harvest_term(), FAST)
+    assert sim.agent.name == "smartharvest"
+    sim2 = ServerSimulation(hardharvest_term(), FAST)
+    assert sim2.agent.name == "hardharvest"
+    sim3 = ServerSimulation(noharvest(), FAST)
+    assert sim3.agent.name == "noharvest"
+
+
+def test_hardware_systems_use_controller():
+    sim = ServerSimulation(hardharvest_block(), FAST)
+    assert sim.controller is not None
+    assert len(sim.controller.qms) == 9  # 8 primary + 1 harvest
+    sim2 = ServerSimulation(harvest_block(), FAST)
+    assert sim2.controller is None
+
+
+def test_batch_inactive_mode():
+    from repro.core.presets import fig4_opt
+
+    res = run_server(fig4_opt(HarvestTrigger.ON_BLOCK), FAST)
+    assert res.batch_units_per_s == 0.0
+    assert res.counters.get("lends", 0) > 0  # cores still move
+
+
+def test_deterministic_given_seed():
+    r1 = run_server(hardharvest_block(), FAST)
+    r2 = run_server(hardharvest_block(), FAST)
+    assert r1.p99_ms == r2.p99_ms
+    assert r1.avg_busy_cores == r2.avg_busy_cores
+    assert r1.counters == r2.counters

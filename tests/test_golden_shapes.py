@@ -1,0 +1,63 @@
+"""Golden-shape regression test.
+
+Pins the qualitative landscape of the reproduction at a small, fast scale
+so refactors that silently change the physics get caught. Tolerances are
+wide (these are shapes, not values); the full-scale equivalents live in
+the benchmark suite.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.experiment import run_systems
+from repro.core.presets import all_systems
+
+CFG = SimulationConfig(horizon_ms=200, warmup_ms=40, accesses_per_segment=12, seed=2025)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_systems(all_systems(), CFG)
+
+
+def test_shape_software_tail_degradation(results):
+    base = results["NoHarvest"].avg_p99_ms()
+    assert 1.1 < results["Harvest-Term"].avg_p99_ms() / base < 8.0
+    assert 1.1 < results["Harvest-Block"].avg_p99_ms() / base < 8.0
+
+
+def test_shape_hardharvest_tail_advantage(results):
+    base = results["NoHarvest"].avg_p99_ms()
+    assert results["HardHarvest-Block"].avg_p99_ms() / base < 1.0
+    assert results["HardHarvest-Term"].avg_p99_ms() / base < 1.0
+
+
+def test_shape_median_contrast(results):
+    base = results["NoHarvest"].avg_p50_ms()
+    assert results["Harvest-Block"].avg_p50_ms() / base < 1.4
+    assert results["HardHarvest-Block"].avg_p50_ms() / base < 0.95
+
+
+def test_shape_utilization_ladder(results):
+    busy = {k: r.avg_busy_cores for k, r in results.items()}
+    assert busy["NoHarvest"] < 12
+    assert 1.3 * busy["NoHarvest"] < busy["Harvest-Term"] < busy["HardHarvest-Block"]
+    assert busy["HardHarvest-Block"] > 30
+
+
+def test_shape_throughput_ladder(results):
+    thr = {k: r.batch_units_per_s for k, r in results.items()}
+    # At this fast scale the software agent barely gets going (few monitor
+    # ticks) — its gain is small but positive; hardware gains are large.
+    assert 1.05 < thr["Harvest-Term"] / thr["NoHarvest"] < 3.5
+    assert 2.0 < thr["HardHarvest-Block"] / thr["NoHarvest"] < 6.5
+    assert thr["HardHarvest-Block"] > 2.0 * thr["Harvest-Term"]
+
+
+def test_shape_reassignment_volumes(results):
+    """Hardware reassigns orders of magnitude more often than software —
+    the enabling property of the whole design."""
+    sw = results["Harvest-Block"].counters.get("lends", 0)
+    hw = results["HardHarvest-Block"].counters.get("lends", 0)
+    assert sw > 5
+    assert hw > 10 * sw

@@ -1,0 +1,81 @@
+"""Tests for the user-level instruction surface and library shims."""
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.hw.controller import HardHarvestController
+from repro.hw.isa import CoreIsa, GrpcCompletionQueue, ThriftServerSocket
+
+
+@pytest.fixture()
+def setup():
+    ctrl = HardHarvestController(ControllerConfig(), num_cores=36)
+    ctrl.register_vm(0, True, 4)
+    ctrl.register_vm(8, False, 4)
+    isa = CoreIsa(ctrl, core_id=0, my_manager=0)
+    return ctrl, isa
+
+
+class TestInstructions:
+    def test_spin_dequeue_complete_cycle(self, setup):
+        ctrl, isa = setup
+        assert isa.spin() is False
+        ctrl.deliver(0, "req-1")
+        assert isa.spin() is True
+        req = isa.dequeue()
+        assert req == "req-1"
+        isa.complete(req)
+        assert isa.spin() is False
+        assert isa.stats.spins == 3
+        assert isa.stats.dequeues == 1
+        assert isa.stats.completes == 1
+        assert isa.stats.control_ns > 0
+
+    def test_block_keeps_entry(self, setup):
+        ctrl, isa = setup
+        ctrl.deliver(0, "req-1")
+        req = isa.dequeue()
+        isa.block(req)
+        assert ctrl.qm_for(0).pending() == 1
+        assert isa.spin() is False  # blocked, not ready
+
+    def test_enqueue_local_request(self, setup):
+        ctrl, isa = setup
+        assert isa.enqueue("nested") is True
+        assert isa.dequeue() == "nested"
+
+    def test_my_manager_rebind(self, setup):
+        ctrl, isa = setup
+        assert 0 in ctrl.qm_for(0).bound_cores
+        isa.set_my_manager(8)
+        assert 0 not in ctrl.qm_for(0).bound_cores
+        assert 0 in ctrl.qm_for(8).bound_cores
+        ctrl.deliver(8, "batch-work")
+        assert isa.dequeue() == "batch-work"
+
+    def test_isolation_between_vms(self, setup):
+        """A core bound to VM 0 can never dequeue VM 8's requests —
+        Section 4.1.7's first missing support in prior hardware queues."""
+        ctrl, isa = setup
+        ctrl.deliver(8, "other-vms-request")
+        assert isa.spin() is False
+        assert isa.dequeue() is None
+
+
+class TestLibraryShims:
+    def test_grpc_completion_queue(self, setup):
+        ctrl, isa = setup
+        cq = GrpcCompletionQueue(isa)
+        assert cq.next(max_spins=3) is None
+        ctrl.deliver(0, "rpc-7")
+        assert cq.next() == "rpc-7"
+
+    def test_thrift_server_socket(self, setup):
+        ctrl, isa = setup
+        sock = ThriftServerSocket(isa)
+        with pytest.raises(RuntimeError):
+            sock.accept()
+        sock.listen()
+        assert sock.accept() is None
+        ctrl.deliver(0, "thrift-call")
+        assert sock.accept() == "thrift-call"

@@ -1,0 +1,99 @@
+"""Tests for the executable batch mini-kernels."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.kernels import (
+    KERNELS,
+    derive_batch_profile,
+    estimate_skew,
+    run_bfs,
+    run_cc,
+    run_dc,
+    run_hadoop,
+    run_lrtrain,
+    run_mummer,
+    run_pagerank,
+    run_rndftrain,
+)
+
+
+def test_registry_matches_batch_names():
+    from repro.workloads.batch import BATCH_NAMES
+
+    assert set(KERNELS) == set(BATCH_NAMES)
+
+
+def test_bfs_visits_most_nodes():
+    result = run_bfs(n=1000, avg_degree=8)
+    assert result.work_units > 900  # random graph is mostly connected
+    assert result.pages_touched > 0
+    assert result.trace
+
+
+def test_cc_counts_components():
+    result = run_cc(n=500, avg_degree=6)
+    assert 1 <= result.result <= 500
+    assert result.work_units == 500 * 6
+
+
+def test_dc_finds_max_degree_node():
+    result = run_dc(n=500, avg_degree=8)
+    assert 0 <= result.result < 500
+
+
+def test_pagerank_mass_conserved():
+    result = run_pagerank(n=400, avg_degree=6, iters=3)
+    ranks = result.result
+    assert all(r > 0 for r in ranks)
+
+
+def test_lrtrain_learns():
+    result = run_lrtrain(samples=800, features=12, epochs=3)
+    assert result.result > 0.8  # accuracy on a separable-ish problem
+
+
+def test_rndftrain_builds_forest():
+    result = run_rndftrain(samples=400, features=8, trees=5)
+    assert result.result == 5
+    assert result.work_units == 5 * 8  # trees x splits evaluated
+
+
+def test_hadoop_wordcount_top_words():
+    result = run_hadoop(docs=50, words_per_doc=100)
+    top = result.result
+    assert len(top) == 5
+    # Zipf input: the most common word dominates.
+    assert top[0][1] >= top[-1][1]
+
+
+def test_mummer_finds_matches():
+    result = run_mummer(genome_len=20_000, queries=40)
+    assert result.result > 0  # reads come from the genome, mostly match
+    assert result.work_units == 40
+
+
+def test_estimate_skew_uniform_vs_hot():
+    rng = np.random.default_rng(0)
+    uniform = list(rng.integers(0, 100, 20_000))
+    hot = list((rng.random(20_000) ** 4 * 100).astype(int))
+    assert estimate_skew(uniform) == pytest.approx(1.0, abs=0.15)
+    assert estimate_skew(hot) > 2.0
+    with pytest.raises(ValueError):
+        estimate_skew([])
+
+
+def test_derive_batch_profile_shape():
+    prof = derive_batch_profile(run_dc(n=300))
+    assert prof["name"] == "DC"
+    assert prof["data_pages"] > 0
+    assert prof["skew"] >= 1.0
+    assert prof["accesses_per_unit"] > 0
+
+
+def test_graph_kernels_less_skewed_than_training():
+    """Locality ordering grounds the batch profiles: PageRank's sweep is
+    closer to uniform than LRTrain's hot weight vector."""
+    pr = derive_batch_profile(run_pagerank(n=800, iters=2))
+    lr = derive_batch_profile(run_lrtrain(samples=600, epochs=2))
+    assert lr["skew"] > pr["skew"]

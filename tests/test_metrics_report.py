@@ -1,0 +1,76 @@
+"""Tests for result containers, normalization, and report formatting."""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, with_average
+from repro.core.metrics import ClusterResult, ServerResult, normalize, speedup
+from repro.sim.stats import Breakdown
+
+
+def make_server_result(system="S", job="BFS", p99=2.0, busy=10.0, thr=100.0):
+    services = {"Text": p99, "User": p99 * 2}
+    return ServerResult(
+        system=system,
+        batch_job=job,
+        p99_ms=dict(services),
+        p50_ms={k: v / 2 for k, v in services.items()},
+        mean_ms={k: v / 1.5 for k, v in services.items()},
+        breakdown={k: Breakdown(execution_ns=1000) for k in services},
+        avg_busy_cores=busy,
+        batch_units_per_s=thr,
+        l2_hit_rate=0.8,
+        counters={},
+        simulated_seconds=0.5,
+    )
+
+
+class TestServerResult:
+    def test_averages(self):
+        res = make_server_result(p99=2.0)
+        assert res.avg_p99_ms() == pytest.approx(3.0)
+        assert res.avg_p50_ms() == pytest.approx(1.5)
+
+
+class TestClusterResult:
+    def test_aggregation(self):
+        cluster = ClusterResult("S")
+        cluster.servers = [
+            make_server_result(job="BFS", p99=2.0, busy=10, thr=100),
+            make_server_result(job="CC", p99=4.0, busy=20, thr=300),
+        ]
+        assert cluster.avg_busy_cores() == pytest.approx(15.0)
+        assert cluster.throughput_by_job() == {"BFS": 100.0, "CC": 300.0}
+        assert cluster.p99_by_service()["Text"] == pytest.approx(3.0)
+        assert cluster.avg_p99_ms() == pytest.approx((3.0 + 6.0) / 2)
+
+
+class TestHelpers:
+    def test_normalize(self):
+        out = normalize({"a": 4.0, "b": 9.0}, {"a": 2.0, "b": 3.0})
+        assert out == {"a": 2.0, "b": 3.0}
+        with pytest.raises(ValueError):
+            normalize({"a": 1.0}, {})
+
+    def test_speedup(self):
+        assert speedup(6.0, 2.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_with_average(self):
+        out = with_average({"x": 1.0, "y": 3.0})
+        assert out["Avg"] == pytest.approx(2.0)
+
+
+class TestFormatting:
+    def test_format_table_layout(self):
+        text = format_table("T", ["c1", "c2"], {"row": [1.0, 2.0]}, unit="ms")
+        assert "== T [ms]" in text
+        assert "row" in text and "1.00" in text and "2.00" in text
+
+    def test_format_table_validates_row_length(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["c1"], {"row": [1.0, 2.0]})
+
+    def test_format_series(self):
+        text = format_series("S", {"alpha": 1.2345})
+        assert "alpha" in text and "1.234" in text

@@ -1,0 +1,89 @@
+"""Tests for ASCII plots and config serialization."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, grouped_bar_chart, sparkline
+from repro.config import (
+    FlushScope,
+    ReplacementKind,
+    SimulationConfig,
+    SystemConfig,
+)
+from repro.core.presets import hardharvest_block, harvest_term, noharvest
+from repro.core.serialize import dumps, from_dict, loads, to_dict
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart("T", {"a": 1.0, "b": 2.0}, width=10, unit="ms")
+        assert "== T [ms]" in text
+        lines = text.splitlines()
+        assert lines[2].count("█") == 10  # b is the max
+        assert lines[1].count("█") == 5
+
+    def test_baseline_gridline(self):
+        text = bar_chart("T", {"base": 2.0, "x": 1.0}, width=10, baseline="base")
+        x_line = text.splitlines()[2]
+        assert "|" in x_line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("T", {})
+        with pytest.raises(ValueError):
+            bar_chart("T", {"a": 0.0})
+
+    def test_grouped(self):
+        text = grouped_bar_chart(
+            "G", {"svc": {"s1": 1.0, "s2": 3.0}, "svc2": {"s1": 2.0, "s2": 1.0}}
+        )
+        assert "svc:" in text and "svc2:" in text
+        assert text.count("█") > 0
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 3, 2, 1, 0])
+        assert len(line) == 7
+        assert line[3] == "█"
+        line2 = sparkline(list(range(100)), width=20)
+        assert len(line2) == 20
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestSerialization:
+    def test_round_trip_every_preset(self):
+        for preset in (noharvest(), harvest_term(), hardharvest_block()):
+            text = dumps(preset, SimulationConfig(seed=7))
+            system, simcfg = loads(text)
+            assert system == preset
+            assert simcfg.seed == 7
+
+    def test_enums_preserved(self):
+        system, _ = loads(dumps(hardharvest_block()))
+        assert system.flush_scope is FlushScope.HARVEST_REGION
+        assert system.partition.replacement is ReplacementKind.HARDHARVEST
+
+    def test_validation_runs_on_load(self):
+        text = dumps(hardharvest_block())
+        corrupted = text.replace('"harvest_fraction": 0.5', '"harvest_fraction": 7.0')
+        with pytest.raises(ValueError):
+            loads(corrupted)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            from_dict({"__type__": "NotAConfig"})
+        with pytest.raises(ValueError):
+            from_dict({"__enum__": "NotAnEnum", "value": 1})
+
+    def test_to_dict_rejects_unserializable(self):
+        with pytest.raises(TypeError):
+            to_dict(object())
+
+    def test_loaded_config_runs(self):
+        from repro.core.experiment import run_server
+
+        system, _ = loads(dumps(noharvest()))
+        res = run_server(
+            system,
+            SimulationConfig(horizon_ms=50, warmup_ms=10, accesses_per_segment=8),
+        )
+        assert res.avg_p99_ms() > 0

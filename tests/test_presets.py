@@ -1,0 +1,122 @@
+"""Tests for the system presets and ablation ladders."""
+
+import pytest
+
+from repro.config import (
+    FlushScope,
+    HarvestTrigger,
+    ReplacementKind,
+    SystemKind,
+)
+from repro.core.presets import (
+    all_systems,
+    build_system,
+    fig4_kvm,
+    fig4_no_move,
+    fig4_opt,
+    fig5_flush,
+    fig5_harvest,
+    fig5_no_flush,
+    fig12_ladder,
+    fig13_points,
+    fig15_ladder,
+    harvest_block,
+    harvest_term,
+    hardharvest_block,
+    hardharvest_term,
+    noharvest,
+)
+
+
+class TestFiveSystems:
+    def test_names_and_order(self):
+        assert list(all_systems()) == [
+            "NoHarvest", "Harvest-Term", "Harvest-Block",
+            "HardHarvest-Term", "HardHarvest-Block",
+        ]
+
+    def test_noharvest_never_triggers(self):
+        assert noharvest().trigger is HarvestTrigger.NEVER
+        assert not noharvest().hardware_scheduling
+
+    def test_software_systems_flush_fully(self):
+        for cfg in (harvest_term(), harvest_block()):
+            assert cfg.flush_scope is FlushScope.FULL
+            assert not cfg.hardware_scheduling
+            assert not cfg.flags.sched
+            assert not cfg.partition.enabled
+
+    def test_hardharvest_full_stack(self):
+        for cfg in (hardharvest_term(), hardharvest_block()):
+            assert cfg.hardware_scheduling
+            assert cfg.flags.sched and cfg.flags.queue and cfg.flags.ctxtsw
+            assert cfg.flags.part and cfg.flags.flush and cfg.flags.repl
+            assert cfg.flush_scope is FlushScope.HARVEST_REGION
+            assert cfg.partition.enabled
+            assert cfg.partition.replacement is ReplacementKind.HARDHARVEST
+            assert cfg.partition.harvest_fraction == 0.5
+            assert cfg.partition.eviction_candidates_fraction == 0.75
+
+    def test_term_vs_block_triggers(self):
+        assert hardharvest_term().trigger is HarvestTrigger.ON_TERMINATION
+        assert hardharvest_block().trigger is HarvestTrigger.ON_BLOCK
+
+    def test_build_system_round_trip(self):
+        for kind in SystemKind:
+            assert build_system(kind).name == kind.value
+
+
+class TestMotivationalPresets:
+    def test_fig4_idle_harvest_vm_no_flush(self):
+        for cfg in (
+            fig4_no_move(),
+            fig4_kvm(HarvestTrigger.ON_BLOCK),
+            fig4_opt(HarvestTrigger.ON_TERMINATION),
+        ):
+            assert not cfg.batch_active
+        assert fig4_kvm(HarvestTrigger.ON_BLOCK).flush_scope is FlushScope.NONE
+        # KVM costs are milliseconds; Opt costs are hundreds of µs.
+        assert (
+            fig4_kvm(HarvestTrigger.ON_BLOCK).software_costs.detach_attach_ns
+            > 10 * fig4_opt(HarvestTrigger.ON_BLOCK).software_costs.detach_attach_ns
+        )
+
+    def test_fig5_flush_isolates_flushing(self):
+        cfg = fig5_flush(HarvestTrigger.ON_TERMINATION)
+        assert cfg.flush_scope is FlushScope.FULL
+        assert cfg.software_costs.detach_attach_ns == 0
+        assert cfg.software_costs.context_switch_ns == 0
+        assert fig5_no_flush().flush_scope is FlushScope.NONE
+        harvest = fig5_harvest(HarvestTrigger.ON_BLOCK)
+        assert harvest.software_costs.detach_attach_ns > 0
+
+
+class TestAblationLadders:
+    def test_fig12_order_and_cumulative_flags(self):
+        ladder = fig12_ladder()
+        names = list(ladder)
+        assert names == ["Harvest-Term", "Harvest-Block", "+Sched", "+Queue",
+                         "+CtxtSw", "+Part", "+Flush", "HardHarvest"]
+        # Flags accumulate monotonically along the hardware steps.
+        flag_count = []
+        for name in names[2:]:
+            f = ladder[name].flags
+            flag_count.append(sum([f.sched, f.queue, f.ctxtsw, f.part, f.flush, f.repl]))
+        assert flag_count == sorted(flag_count)
+        assert ladder["+Part"].partition.enabled
+        assert ladder["+Part"].partition.replacement is ReplacementKind.LRU
+        assert ladder["HardHarvest"].partition.replacement is ReplacementKind.HARDHARVEST
+
+    def test_fig13_points(self):
+        pts = fig13_points()
+        assert pts["+CtxtSw"].flags.ctxtsw and not pts["+CtxtSw"].flags.sched
+        assert pts["+Sched"].flags.sched and not pts["+Sched"].flags.ctxtsw
+        both = pts["+CtxtSw&Sched"].flags
+        assert both.sched and both.ctxtsw
+
+    def test_fig15_never_harvests(self):
+        for cfg in fig15_ladder().values():
+            assert cfg.trigger is HarvestTrigger.NEVER
+        repl = fig15_ladder()["+ReplPolicy"]
+        assert repl.partition.replacement is ReplacementKind.HARDHARVEST
+        assert not repl.partition.enabled  # no partitioning without harvest

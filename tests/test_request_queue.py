@@ -1,0 +1,147 @@
+"""Tests for the hardware Request Queue: chunks, subqueues, overflow."""
+
+import pytest
+
+from repro.hw.request_queue import RequestQueue, RequestStatus, Subqueue
+
+
+class TestSubqueue:
+    def make(self, chunks=1, epc=4):
+        sq = Subqueue(vm_id=0, entries_per_chunk=epc)
+        for c in range(chunks):
+            sq.grant_chunk(c)
+        return sq
+
+    def test_fifo_order(self):
+        sq = self.make()
+        sq.enqueue("a")
+        sq.enqueue("b")
+        assert sq.dequeue_ready() == "a"
+        assert sq.dequeue_ready() == "b"
+        assert sq.dequeue_ready() is None
+
+    def test_block_keeps_entry_in_place(self):
+        sq = self.make()
+        sq.enqueue("a")
+        sq.enqueue("b")
+        req = sq.dequeue_ready()
+        sq.mark_blocked(req)
+        # 'b' is served while 'a' blocks; 'a' still occupies its entry.
+        assert sq.dequeue_ready() == "b"
+        assert sq.hw_occupancy == 2
+        sq.mark_ready("a")
+        # FIFO: 'a' was older, resumes first.
+        assert sq.dequeue_ready() == "a"
+
+    def test_state_transition_errors(self):
+        sq = self.make()
+        sq.enqueue("a")
+        with pytest.raises(ValueError):
+            sq.mark_blocked("a")  # not running
+        req = sq.dequeue_ready()
+        with pytest.raises(ValueError):
+            sq.mark_ready(req)  # not blocked
+        sq.complete(req)
+        with pytest.raises(KeyError):
+            sq.complete(req)  # already gone
+
+    def test_requeue_preempted(self):
+        sq = self.make()
+        sq.enqueue("a")
+        req = sq.dequeue_ready()
+        sq.requeue_ready(req)  # preemption returns it to READY
+        assert sq.dequeue_ready() == "a"
+
+    def test_overflow_spill_and_promote(self):
+        sq = self.make(chunks=1, epc=2)
+        assert sq.enqueue("a") is True
+        assert sq.enqueue("b") is True
+        assert sq.enqueue("c") is False  # spilled to overflow
+        assert sq.total_pending() == 3
+        req = sq.dequeue_ready()
+        sq.complete(req)  # frees a hardware slot; 'c' promotes
+        assert sq.hw_occupancy == 2
+        assert sq.overflow_highwater == 1
+
+    def test_shed_chunk_spills_to_overflow(self):
+        sq = self.make(chunks=2, epc=2)
+        for name in "abcd":
+            sq.enqueue(name)
+        chunk = sq.shed_chunk()
+        assert chunk == 1
+        assert sq.capacity == 2
+        assert sq.hw_occupancy == 2
+        assert len(sq.overflow) == 2
+        # Order preserved overall: a,b in hardware; c,d in overflow.
+        assert sq.dequeue_ready() == "a"
+
+    def test_shed_chunk_protects_running_entries(self):
+        sq = self.make(chunks=2, epc=1)
+        sq.enqueue("a")
+        sq.enqueue("b")
+        ra = sq.dequeue_ready()
+        rb = sq.dequeue_ready()
+        assert (ra, rb) == ("a", "b")
+        # Both entries are RUNNING: shedding a chunk cannot displace them.
+        sq.shed_chunk()
+        assert sq.hw_occupancy == 2  # transiently over capacity, tolerated
+
+
+class TestRequestQueue:
+    def test_create_from_free_pool(self):
+        rq = RequestQueue(num_chunks=4, entries_per_chunk=2)
+        sq = rq.create_subqueue(1, target_chunks=2)
+        assert len(sq.rq_map) == 2
+        assert len(rq.free_chunks) == 2
+        assert rq.chunk_owner_invariant()
+
+    def test_new_vm_takes_chunks_from_largest(self):
+        rq = RequestQueue(num_chunks=4, entries_per_chunk=2)
+        sq1 = rq.create_subqueue(1, target_chunks=4)
+        assert len(sq1.rq_map) == 4
+        sq2 = rq.create_subqueue(2, target_chunks=2)
+        assert len(sq2.rq_map) == 2
+        assert len(sq1.rq_map) == 2
+        assert rq.chunk_owner_invariant()
+
+    def test_departure_redistributes_chunks(self):
+        rq = RequestQueue(num_chunks=4, entries_per_chunk=2)
+        rq.create_subqueue(1, 2)
+        rq.create_subqueue(2, 2)
+        rq.destroy_subqueue(1)
+        assert len(rq.subqueues[2].rq_map) == 4
+        assert rq.chunk_owner_invariant()
+
+    def test_destroy_with_pending_rejected(self):
+        rq = RequestQueue(4, 2)
+        sq = rq.create_subqueue(1, 2)
+        sq.enqueue("x")
+        with pytest.raises(ValueError):
+            rq.destroy_subqueue(1)
+
+    def test_last_vm_departure_returns_chunks_to_pool(self):
+        rq = RequestQueue(4, 2)
+        rq.create_subqueue(1, 4)
+        rq.destroy_subqueue(1)
+        assert sorted(rq.free_chunks) == [0, 1, 2, 3]
+
+    def test_duplicate_vm_rejected(self):
+        rq = RequestQueue(4, 2)
+        rq.create_subqueue(1, 1)
+        with pytest.raises(ValueError):
+            rq.create_subqueue(1, 1)
+
+    def test_donor_keeps_at_least_one_chunk(self):
+        rq = RequestQueue(2, 2)
+        rq.create_subqueue(1, 2)
+        sq2 = rq.create_subqueue(2, 2)
+        # Only one chunk could be taken: donor keeps one.
+        assert len(rq.subqueues[1].rq_map) == 1
+        assert len(sq2.rq_map) == 1
+        assert rq.chunk_owner_invariant()
+
+    def test_paper_geometry(self):
+        """Table 1: 32 chunks x 64 entries = 2K-entry RQ."""
+        rq = RequestQueue(32, 64)
+        sq = rq.create_subqueue(0, 32)
+        assert sq.capacity == 2048

@@ -1,0 +1,105 @@
+"""Unit tests for statistics primitives."""
+
+import pytest
+
+from repro.sim.stats import (
+    Breakdown,
+    BreakdownRecorder,
+    Counter,
+    LatencyRecorder,
+    UtilizationTracker,
+)
+
+
+class TestLatencyRecorder:
+    def test_percentiles_exact(self):
+        rec = LatencyRecorder()
+        for v in range(1, 101):
+            rec.record(v)
+        assert rec.p50() == pytest.approx(50.5)
+        assert rec.percentile(99) == pytest.approx(99.01)
+        assert rec.count == 100
+        assert rec.max() == 100
+
+    def test_empty_raises(self):
+        rec = LatencyRecorder("empty")
+        with pytest.raises(ValueError):
+            rec.p99()
+        with pytest.raises(ValueError):
+            rec.mean()
+
+    def test_negative_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.record(-1)
+
+    def test_mean(self):
+        rec = LatencyRecorder()
+        for v in (10, 20, 30):
+            rec.record(v)
+        assert rec.mean() == pytest.approx(20.0)
+
+
+class TestUtilizationTracker:
+    def test_time_weighted_average(self):
+        t = UtilizationTracker(4)
+        t.set_busy(0, 2)
+        t.set_busy(100, 4)
+        t.set_busy(150, 0)
+        # integral: 2*100 + 4*50 + 0*50 = 400 over 200
+        assert t.average_busy(200) == pytest.approx(2.0)
+        assert t.average_utilization(200) == pytest.approx(0.5)
+
+    def test_extends_last_state_to_horizon(self):
+        t = UtilizationTracker(2)
+        t.set_busy(0, 1)
+        assert t.average_busy(100) == pytest.approx(1.0)
+
+    def test_rejects_overflow_and_time_travel(self):
+        t = UtilizationTracker(2)
+        with pytest.raises(ValueError):
+            t.set_busy(0, 3)
+        t.set_busy(50, 1)
+        with pytest.raises(ValueError):
+            t.set_busy(40, 1)
+
+    def test_adjust(self):
+        t = UtilizationTracker(4)
+        t.adjust(0, 1)
+        t.adjust(10, 1)
+        assert t.busy == 2
+        t.adjust(20, -2)
+        assert t.busy == 0
+
+
+class TestBreakdown:
+    def test_total_and_add(self):
+        b = Breakdown(reassign_ns=1, flush_ns=2, execution_ns=3, queueing_ns=4)
+        assert b.total() == 10
+        b2 = Breakdown(execution_ns=5)
+        b.add(b2)
+        assert b.execution_ns == 8
+
+    def test_recorder_means(self):
+        rec = BreakdownRecorder()
+        rec.record("svc", Breakdown(execution_ns=10))
+        rec.record("svc", Breakdown(execution_ns=30))
+        assert rec.mean("svc").execution_ns == 20
+        with pytest.raises(KeyError):
+            rec.mean("other")
+        assert rec.keys() == ["svc"]
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        c = Counter()
+        c.incr("x")
+        c.incr("x", 4)
+        assert c["x"] == 5
+        assert c["missing"] == 0
+        assert c.as_dict() == {"x": 5}
+
+    def test_negative_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.incr("x", -1)

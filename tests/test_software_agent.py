@@ -1,0 +1,81 @@
+"""Unit tests for the SmartHarvest software agent's decision logic."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import HarvestTrigger, SimulationConfig, SmartHarvestConfig
+from repro.core.experiment import run_server_raw
+from repro.core.presets import harvest_block, harvest_term
+from repro.harvest.software import SmartHarvestAgent
+
+FAST = SimulationConfig(horizon_ms=100, warmup_ms=20, accesses_per_segment=8, seed=41)
+
+
+class TestConstruction:
+    def test_requires_trigger(self):
+        with pytest.raises(ValueError):
+            SmartHarvestAgent(HarvestTrigger.NEVER, SmartHarvestConfig())
+
+    def test_cause_gating(self):
+        term = SmartHarvestAgent(HarvestTrigger.ON_TERMINATION, SmartHarvestConfig())
+        block = SmartHarvestAgent(HarvestTrigger.ON_BLOCK, SmartHarvestConfig())
+        assert term.cause_allowed("term") and not term.cause_allowed("block")
+        assert block.cause_allowed("term") and block.cause_allowed("block")
+
+    def test_reactive_lending_disabled(self):
+        agent = SmartHarvestAgent(HarvestTrigger.ON_BLOCK, SmartHarvestConfig())
+        assert agent.on_core_idle(object(), "term") is False
+
+
+class TestInSystem:
+    def test_monitor_ticks_fire(self):
+        sim = run_server_raw(harvest_term(), FAST)
+        period_ms = sim.system.smartharvest.monitor_period_ns / 1e6
+        expected = FAST.horizon_ms / period_ms
+        assert sim.agent.ticks >= expected * 0.5
+
+    def test_predictions_populated(self):
+        sim = run_server_raw(harvest_term(), FAST)
+        assert len(sim.agent._ewma) == len(sim.primary_vms)
+        for vm in sim.primary_vms:
+            assert sim.agent.predicted_busy(vm.vm_id) >= 0.0
+
+    def test_emergency_buffer_limits_lending(self):
+        """With the buffer set to the entire Primary allocation, nothing is
+        ever lendable."""
+        frozen = replace(
+            harvest_block(),
+            smartharvest=replace(
+                harvest_block().smartharvest, emergency_buffer_cores=32
+            ),
+        )
+        sim = run_server_raw(frozen, FAST)
+        assert sim.counters.get("lends", 0) == 0
+
+    def test_zero_buffer_lends_most(self):
+        loose = replace(
+            harvest_block(),
+            smartharvest=replace(
+                harvest_block().smartharvest, emergency_buffer_cores=0
+            ),
+        )
+        tight = replace(
+            harvest_block(),
+            smartharvest=replace(
+                harvest_block().smartharvest, emergency_buffer_cores=8
+            ),
+        )
+        loose_sim = run_server_raw(loose, FAST)
+        tight_sim = run_server_raw(tight, FAST)
+        assert loose_sim.counters["lends"] >= tight_sim.counters["lends"]
+
+    def test_min_attached_floor_respected(self):
+        """At any instant, a VM with lent cores keeps at least MIN_ATTACHED
+        cores attached (unlent) — sampled at the end of the run."""
+        sim = run_server_raw(harvest_block(), FAST)
+        for vm in sim.primary_vms:
+            lent = sum(1 for c in vm.cores if c.on_loan)
+            if lent:
+                attached = len(vm.cores) - lent
+                assert attached >= SmartHarvestAgent.MIN_ATTACHED

@@ -1,0 +1,45 @@
+"""Tests for the Section 6.8 storage/area/power accounting."""
+
+import pytest
+
+from repro.config import ControllerConfig, HierarchyConfig
+from repro.hw.storage_cost import (
+    compute_storage_report,
+    qm_storage_bytes,
+    rq_storage_bytes,
+    shared_bit_bytes_per_core,
+)
+
+
+def test_rq_storage_matches_paper():
+    """2048 entries x 66 bits = 16896 B."""
+    assert rq_storage_bytes(ControllerConfig()) == pytest.approx(16896.0)
+
+
+def test_qm_storage_matches_paper():
+    """16 pairs x (16x8B regs + 24B RQ-Map + 5B HarvestMask)."""
+    per_pair = 16 * 8 + 24 + 5
+    assert qm_storage_bytes(ControllerConfig()) == pytest.approx(16 * per_pair)
+
+
+def test_controller_total_is_paper_18_9_kb():
+    report = compute_storage_report(ControllerConfig(), HierarchyConfig(), 36)
+    assert report.controller_bytes / 1024 == pytest.approx(18.9, abs=0.2)
+
+
+def test_shared_bit_inventory():
+    """One bit per entry of L1 TLB (128) + L2 TLB (2048) + L1D lines (768)
+    + L2 lines (8192) = 11136 bits = 1392 B per core."""
+    per_core = shared_bit_bytes_per_core(HierarchyConfig())
+    assert per_core == pytest.approx(1392.0)
+
+
+def test_area_and_power_overheads_sub_percent():
+    report = compute_storage_report(ControllerConfig(), HierarchyConfig(), 36)
+    # Paper: 0.19% area, 0.16% power. Our McPAT-lite lands in the same
+    # sub-half-percent regime.
+    assert 0.0002 < report.area_overhead_fraction < 0.005
+    assert report.power_overhead_fraction < report.area_overhead_fraction
+    assert report.total_bytes == pytest.approx(
+        report.controller_bytes + report.shared_bit_bytes_total
+    )

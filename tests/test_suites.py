@@ -1,0 +1,53 @@
+"""Tests for workload suites (socialnet default, hotel generalization)."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.experiment import run_server, run_server_raw
+from repro.core.presets import hardharvest_block, noharvest
+from repro.workloads.suites import HOTEL_BACKENDS, HOTEL_SERVICES, SUITES, get_suite
+
+FAST = SimulationConfig(
+    horizon_ms=70, warmup_ms=10, accesses_per_segment=8, seed=8, suite="hotel"
+)
+
+
+class TestSuiteRegistry:
+    def test_default_is_socialnet(self):
+        assert get_suite("socialnet")[0].name == "Text"
+        assert SimulationConfig().suite == "socialnet"
+
+    def test_hotel_suite_shape(self):
+        assert len(HOTEL_SERVICES) == 8
+        names = [p.name for p in HOTEL_SERVICES]
+        assert "Search" in names and "Reserve" in names
+        # Every hotel service has a backend route.
+        assert set(HOTEL_BACKENDS) == set(names)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            get_suite("banking")
+
+    def test_hotel_services_are_microsecond_scale(self):
+        for p in HOTEL_SERVICES:
+            assert 50 <= p.mean_exec_us <= 700
+
+
+class TestHotelRuns:
+    def test_engine_runs_hotel_suite(self):
+        sim = run_server_raw(noharvest(), FAST)
+        assert {vm.name for vm in sim.primary_vms} == {
+            p.name for p in HOTEL_SERVICES
+        }
+        assert sim._completions == sim._target_completions
+        # Backends receive calls from the hotel routing.
+        stats = sim.backends.stats()
+        assert stats["mongodb"]["calls"] > 0  # Reserve/Review
+        assert stats["redis"]["calls"] > 0    # Search/Geo/Rate
+
+    def test_hardharvest_wins_generalize_to_hotel(self):
+        base = run_server(noharvest(), FAST)
+        hh = run_server(hardharvest_block(), FAST)
+        assert hh.avg_busy_cores > 2.5 * base.avg_busy_cores
+        assert hh.avg_p99_ms() < base.avg_p99_ms() * 1.1
+        assert hh.batch_units_per_s > 1.5 * base.batch_units_per_s

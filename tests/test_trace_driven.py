@@ -1,0 +1,76 @@
+"""Tests for trace-driven load (Alibaba utilization -> request rates)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.experiment import run_server, run_server_raw
+from repro.core.presets import hardharvest_block, noharvest
+from repro.workloads.loadgen import generate_arrivals_from_trace
+from repro.workloads.microservices import SERVICES
+
+
+class TestGenerator:
+    def test_rate_tracks_utilization(self):
+        rng = np.random.default_rng(0)
+        p = SERVICES[0]
+        interval = 100_000_000  # 100 ms
+        arrivals = generate_arrivals_from_trace(
+            rng, p, 4, [0.1, 0.8, 0.1], interval
+        )
+        counts = [0, 0, 0]
+        for t in arrivals:
+            counts[min(2, t // interval)] += 1
+        assert counts[1] > 3 * counts[0]
+        assert counts[1] > 3 * counts[2]
+
+    def test_zero_utilization_interval_has_no_arrivals(self):
+        rng = np.random.default_rng(1)
+        arrivals = generate_arrivals_from_trace(
+            rng, SERVICES[0], 4, [0.0, 0.5], 50_000_000
+        )
+        assert all(t >= 50_000_000 for t in arrivals)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_arrivals_from_trace(rng, SERVICES[0], 4, [], 1000)
+        with pytest.raises(ValueError):
+            generate_arrivals_from_trace(rng, SERVICES[0], 4, [1.5], 1000)
+        with pytest.raises(ValueError):
+            generate_arrivals_from_trace(rng, SERVICES[0], 4, [0.5], 0)
+
+    def test_max_count_cap(self):
+        rng = np.random.default_rng(2)
+        arrivals = generate_arrivals_from_trace(
+            rng, SERVICES[0], 4, [0.9] * 50, 100_000_000, max_count=25
+        )
+        assert len(arrivals) == 25
+
+
+class TestTraceDrivenRuns:
+    CFG = SimulationConfig(
+        horizon_ms=100, warmup_ms=20, accesses_per_segment=8,
+        trace_driven=True, seed=9,
+    )
+
+    def test_completes_and_reports(self):
+        res = run_server(noharvest(), self.CFG)
+        assert res.avg_p99_ms() > 0
+        assert res.counters.get("horizon_cap_hit", 0) == 0
+
+    def test_harvesting_still_works(self):
+        res = run_server(hardharvest_block(), self.CFG)
+        assert res.counters["lends"] > 0
+        assert res.avg_busy_cores > 15
+
+    def test_deterministic(self):
+        a = run_server(noharvest(), self.CFG)
+        b = run_server(noharvest(), self.CFG)
+        assert a.p99_ms == b.p99_ms
+
+    def test_different_vms_get_different_instances(self):
+        sim = run_server_raw(noharvest(), self.CFG)
+        counts = {vm.name: sim.latency[vm.name].count for vm in sim.primary_vms}
+        # Per-VM request volumes differ (different sampled instances).
+        assert len(set(counts.values())) > 2
