@@ -10,6 +10,12 @@ Scale note: ``BENCH_SIM`` simulates 500 ms of an 8-Primary-VM server per
 system — large enough for stable P99s at the paper's request rates, small
 enough that the full suite finishes in minutes. Set ``REPRO_BENCH_SCALE``
 (e.g. ``2.0``) to lengthen every run for tighter percentiles.
+
+Parallelism/caching: multi-system fixtures go through the
+:mod:`repro.parallel` runner.  ``REPRO_BENCH_WORKERS=N`` fans the systems
+out over N processes (results are bit-identical to serial), and
+``REPRO_BENCH_CACHE=<dir>`` serves unchanged runs from the
+content-addressed result cache, making benchmark re-runs near-instant.
 """
 
 from __future__ import annotations
@@ -19,10 +25,25 @@ import os
 import pytest
 
 from repro.config import SimulationConfig
-from repro.core.experiment import run_server, run_systems
+from repro.core.experiment import run_systems
 from repro.core.presets import all_systems
+from repro.parallel import ResultCache
 
 _SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", "")
+
+
+def bench_run_systems(systems, simcfg):
+    """Run a dict of systems through the parallel runner.
+
+    Honors ``REPRO_BENCH_WORKERS``/``REPRO_BENCH_CACHE``; with neither set
+    it degrades to the plain serial path (identical results either way).
+    """
+    cache = ResultCache(root=_CACHE_DIR) if _CACHE_DIR else None
+    if _WORKERS <= 1 and cache is None:
+        return run_systems(systems, simcfg)
+    return run_systems(systems, simcfg, workers=_WORKERS, cache=cache)
 
 BENCH_SIM = SimulationConfig(
     horizon_ms=500.0 * _SCALE,
@@ -43,7 +64,7 @@ SWEEP_SIM = SimulationConfig(
 @pytest.fixture(scope="session")
 def five_systems():
     """The five evaluated architectures on the identical workload."""
-    return run_systems(all_systems(), BENCH_SIM)
+    return bench_run_systems(all_systems(), BENCH_SIM)
 
 
 def once(benchmark, fn):

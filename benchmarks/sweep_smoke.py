@@ -1,0 +1,101 @@
+"""Sweep-runner wall-clock smoke: serial vs parallel vs cached.
+
+Runs a small (systems x seeds) grid three ways — ``workers=1`` cold,
+``workers=2`` cold, then ``workers=2`` against the now-warm cache — and
+records the wall-clocks plus the cache hit rate under ``bench_results/``
+as ``BENCH_sweep_runner.json``.  CI invokes this on every push so the
+perf trajectory of the parallel substrate accumulates alongside the
+figure CSVs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sweep_smoke.py [--horizon-ms 40]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+import repro
+from repro.config import SimulationConfig
+from repro.core.presets import all_systems
+from repro.parallel import ResultCache, SweepSpec, run_sweep
+
+
+def timed_sweep(spec, workers, cache=None):
+    started = time.perf_counter()
+    outcome = run_sweep(spec, workers=workers, cache=cache)
+    return time.perf_counter() - started, outcome
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--horizon-ms", type=float, default=40.0)
+    parser.add_argument("--accesses", type=int, default=6)
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="number of seeds in the grid")
+    parser.add_argument("--out", default=None,
+                        help="output path (default bench_results/BENCH_sweep_runner.json)")
+    args = parser.parse_args(argv)
+
+    spec = SweepSpec(
+        systems=all_systems(),
+        seeds=tuple(range(args.seeds)),
+        sim=SimulationConfig(
+            horizon_ms=args.horizon_ms,
+            warmup_ms=args.horizon_ms / 5,
+            accesses_per_segment=args.accesses,
+        ),
+    )
+    cache_dir = tempfile.mkdtemp(prefix="repro-sweep-smoke-")
+    try:
+        serial_s, serial = timed_sweep(spec, workers=1)
+        parallel_s, parallel = timed_sweep(
+            spec, workers=2, cache=ResultCache(root=cache_dir)
+        )
+        warm_cache = ResultCache(root=cache_dir)
+        cached_s, cached = timed_sweep(spec, workers=2, cache=warm_cache)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    record = {
+        "benchmark": "sweep_runner_scaling",
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "points": spec.size(),
+        "horizon_ms": args.horizon_ms,
+        "workers1_cold_s": round(serial_s, 3),
+        "workers2_cold_s": round(parallel_s, 3),
+        "workers2_cached_s": round(cached_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "cache_speedup": round(serial_s / cached_s, 3),
+        "cache_hit_rate": warm_cache.stats.hit_rate(),
+    }
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = args.out or os.path.join(out_dir, "BENCH_sweep_runner.json")
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+
+    if cached.from_cache != spec.size():
+        print("ERROR: warm run was not fully served from cache", file=sys.stderr)
+        return 1
+    if cached_s >= serial_s:
+        # Cached must beat cold serial by a wide margin; this is the smoke
+        # assertion that the cache actually short-circuits simulation.
+        print("ERROR: cached sweep not faster than cold serial run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

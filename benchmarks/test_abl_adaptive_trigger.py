@@ -9,10 +9,9 @@ lending volume while keeping Block-level throughput when blocks are long.
 
 from dataclasses import replace
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table
-from repro.core.experiment import run_systems
 from repro.core.presets import hardharvest_block, hardharvest_term
 
 
@@ -27,7 +26,7 @@ def build_systems():
 
 
 def run_all():
-    return run_systems(build_systems(), SWEEP_SIM)
+    return bench_run_systems(build_systems(), SWEEP_SIM)
 
 
 def test_ablation_adaptive_trigger(benchmark):

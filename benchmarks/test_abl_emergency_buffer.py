@@ -8,10 +8,9 @@ utilization/throughput; HardHarvest needs no buffer at all.
 
 from dataclasses import replace
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table
-from repro.core.experiment import run_server, run_systems
 from repro.core.presets import harvest_block, hardharvest_block
 
 SIZES = (0, 2, 4)
@@ -30,7 +29,7 @@ def build_systems():
 
 
 def run_all():
-    return run_systems(build_systems(), SWEEP_SIM)
+    return bench_run_systems(build_systems(), SWEEP_SIM)
 
 
 def test_ablation_emergency_buffer(benchmark):

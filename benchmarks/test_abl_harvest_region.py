@@ -8,10 +8,9 @@ up) but leaves the Primary VM less protected state.
 
 from dataclasses import replace
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table
-from repro.core.experiment import run_systems
 from repro.core.presets import hardharvest_block
 
 FRACTIONS = (0.33, 0.50, 0.67)
@@ -28,7 +27,7 @@ def build_systems():
 
 
 def run_all():
-    return run_systems(build_systems(), SWEEP_SIM)
+    return bench_run_systems(build_systems(), SWEEP_SIM)
 
 
 def test_ablation_harvest_region_size(benchmark):

@@ -10,10 +10,9 @@ software harvesting — are not SocialNet artifacts.
 
 from dataclasses import replace
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table
-from repro.core.experiment import run_systems
 from repro.core.presets import harvest_term, hardharvest_block, noharvest
 
 SYSTEMS = {
@@ -27,7 +26,7 @@ def run_all():
     out = {}
     for suite in ("socialnet", "hotel"):
         simcfg = replace(SWEEP_SIM, suite=suite)
-        out[suite] = run_systems(SYSTEMS, simcfg)
+        out[suite] = bench_run_systems(SYSTEMS, simcfg)
     return out
 
 

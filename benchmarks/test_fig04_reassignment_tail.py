@@ -8,11 +8,10 @@ the ordering and that every reassignment scheme degrades the tail
 substantially.
 """
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table, with_average
 from repro.config import HarvestTrigger
-from repro.core.experiment import run_systems
 from repro.core.presets import fig4_kvm, fig4_no_move, fig4_opt
 from repro.workloads.microservices import SERVICE_NAMES
 
@@ -26,7 +25,7 @@ SYSTEMS = {
 
 
 def run_all():
-    return run_systems(SYSTEMS, SWEEP_SIM)
+    return bench_run_systems(SYSTEMS, SWEEP_SIM)
 
 
 def test_fig04_hypervisor_reassignment_tail(benchmark):

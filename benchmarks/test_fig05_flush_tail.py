@@ -7,11 +7,10 @@ reassignment — "the current true cost"). Paper: flushing alone raises the
 average P99 by 2.7x/3.3x; with reassignment 3.6x/4.2x.
 """
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table, with_average
 from repro.config import HarvestTrigger
-from repro.core.experiment import run_systems
 from repro.core.presets import fig5_flush, fig5_harvest, fig5_no_flush
 from repro.workloads.microservices import SERVICE_NAMES
 
@@ -25,7 +24,7 @@ SYSTEMS = {
 
 
 def run_all():
-    return run_systems(SYSTEMS, SWEEP_SIM)
+    return bench_run_systems(SYSTEMS, SWEEP_SIM)
 
 
 def test_fig05_flush_and_cold_restart_tail(benchmark):

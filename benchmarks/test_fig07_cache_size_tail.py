@@ -8,10 +8,9 @@ way-partitioning.
 
 from dataclasses import replace
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table, with_average
-from repro.core.experiment import run_systems
 from repro.core.presets import noharvest
 from repro.workloads.microservices import SERVICE_NAMES
 
@@ -30,7 +29,7 @@ def build_systems():
 
 
 def run_all():
-    return run_systems(build_systems(), SWEEP_SIM)
+    return bench_run_systems(build_systems(), SWEEP_SIM)
 
 
 def test_fig07_cache_size_sensitivity(benchmark):

@@ -8,15 +8,14 @@ context switching), +Part (cache/TLB partitioning with LRU), +Flush
 policy. Paper: cumulative reductions of 25.6/35.5/61.1/80.1/83.6/85.6%.
 """
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_series
-from repro.core.experiment import run_systems
 from repro.core.presets import fig12_ladder
 
 
 def run_all():
-    return run_systems(fig12_ladder(), SWEEP_SIM)
+    return bench_run_systems(fig12_ladder(), SWEEP_SIM)
 
 
 def test_fig12_cumulative_optimizations(benchmark):

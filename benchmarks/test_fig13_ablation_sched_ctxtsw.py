@@ -5,15 +5,14 @@ Paper: Sched and CtxtSw have similar individual impact and a partially
 additive combined effect.
 """
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_series
-from repro.core.experiment import run_systems
 from repro.core.presets import fig13_points
 
 
 def run_all():
-    return run_systems(fig13_points(), SWEEP_SIM)
+    return bench_run_systems(fig13_points(), SWEEP_SIM)
 
 
 def test_fig13_sched_vs_ctxtsw(benchmark):

@@ -6,15 +6,14 @@ Paper: the mechanisms help microservices in general, cutting the P99 by
 even NoHarvest in Figure 11.
 """
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_series
-from repro.core.experiment import run_systems
 from repro.core.presets import fig15_ladder
 
 
 def run_all():
-    return run_systems(fig15_ladder(), SWEEP_SIM)
+    return bench_run_systems(fig15_ladder(), SWEEP_SIM)
 
 
 def test_fig15_optimizations_without_harvesting(benchmark):

@@ -7,10 +7,9 @@ preserve shared lines; 100% keeps evicting needed private lines.
 
 from dataclasses import replace
 
-from conftest import SWEEP_SIM, once
+from conftest import SWEEP_SIM, bench_run_systems, once
 
 from repro.analysis.report import format_table, with_average
-from repro.core.experiment import run_systems
 from repro.core.presets import hardharvest_block
 from repro.workloads.microservices import SERVICE_NAMES
 
@@ -29,7 +28,7 @@ def build_systems():
 
 
 def run_all():
-    return run_systems(build_systems(), SWEEP_SIM)
+    return bench_run_systems(build_systems(), SWEEP_SIM)
 
 
 def test_fig19_eviction_candidate_window(benchmark):

@@ -14,7 +14,7 @@ Run:  python examples/capacity_planning.py
 
 from repro import SimulationConfig, SystemKind, build_system
 from repro.analysis.energy import energy_per_batch_unit, estimate_energy
-from repro.analysis.queueing import erlang_c, mgc_mean_wait, utilization
+from repro.analysis.queueing import mgc_mean_wait, utilization
 from repro.core.experiment import run_server_raw
 from repro.workloads.microservices import SERVICES
 

@@ -21,6 +21,7 @@ Package map:
 * :mod:`repro.harvest`   -- lending agents and the transition cost model.
 * :mod:`repro.workloads` -- services, batch jobs/kernels, Alibaba traces.
 * :mod:`repro.core`      -- presets and the experiment API.
+* :mod:`repro.parallel`  -- sweep fan-out and the on-disk result cache.
 * :mod:`repro.analysis`  -- Belady replay, report formatting.
 """
 
@@ -53,8 +54,21 @@ from repro.core import (
 
 __version__ = "1.0.0"
 
+from repro.parallel import (  # noqa: E402 - needs __version__ for cache keys
+    ResultCache,
+    SweepOutcome,
+    SweepPoint,
+    SweepSpec,
+    run_sweep,
+)
+
 __all__ = [
     "__version__",
+    "SweepSpec",
+    "SweepPoint",
+    "SweepOutcome",
+    "ResultCache",
+    "run_sweep",
     "SystemKind",
     "SystemConfig",
     "SimulationConfig",

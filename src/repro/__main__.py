@@ -5,6 +5,8 @@ Commands
 ``run``      — simulate one server under one system and print its metrics.
 ``compare``  — run all five evaluated systems on the identical workload.
 ``cluster``  — the paper's multi-server setup (one batch job per server).
+``sweep``    — a (systems x seeds) grid through the parallel runner and
+               the content-addressed result cache (:mod:`repro.parallel`).
 ``storage``  — print the Section 6.8 hardware cost accounting.
 
 Examples::
@@ -12,6 +14,7 @@ Examples::
     python -m repro run --system HardHarvest-Block --horizon-ms 300
     python -m repro compare --seed 7
     python -m repro cluster --servers 4
+    python -m repro sweep --systems all --seeds 0..7 --workers 4
     python -m repro storage
 """
 
@@ -119,6 +122,70 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.export import write_sweep_csv, write_sweep_json
+    from repro.parallel import ResultCache, SweepSpec, parse_seeds, run_sweep
+
+    systems = all_systems()
+    if args.systems != "all":
+        wanted = [name.strip() for name in args.systems.split(",") if name.strip()]
+        unknown = [name for name in wanted if name not in systems]
+        if unknown:
+            print(f"unknown system(s) {unknown}; choose from {SYSTEM_NAMES}",
+                  file=sys.stderr)
+            return 2
+        systems = {name: systems[name] for name in wanted}
+    try:
+        seeds = parse_seeds(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.parallel import DeterminismError, SweepError
+
+    spec = SweepSpec(systems=systems, seeds=seeds, sim=_sim_config(args))
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    try:
+        outcome = run_sweep(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            task_timeout=args.task_timeout,
+            verify_cached=args.verify_cached,
+        )
+    except (SweepError, DeterminismError) as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+
+    p99_by_system = {name: [] for name in systems}
+    busy_by_system = {name: [] for name in systems}
+    for point, result in zip(spec.points(), outcome.results.values()):
+        p99_by_system[point.system.name].append(result.avg_p99_ms())
+        busy_by_system[point.system.name].append(result.avg_busy_cores)
+    from repro.analysis.report import format_sweep_table
+
+    print(format_sweep_table(
+        f"Avg P99 across {len(seeds)} seed(s)", p99_by_system, unit="ms"))
+    print()
+    print(format_sweep_table(
+        "Busy cores (of 36)", busy_by_system, precision=1))
+    print(f"\n{spec.size()} point(s) in {outcome.elapsed_s:.1f}s with "
+          f"{args.workers} worker(s): {outcome.computed} computed, "
+          f"{outcome.from_cache} from cache, {outcome.retried} retried")
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache [{args.cache_dir}]: {stats.hits} hit(s), "
+              f"{stats.misses} miss(es), {stats.invalidations} invalidated "
+              f"({stats.hit_rate() * 100:.0f}% hit rate)")
+    if args.json:
+        write_sweep_json(args.json, outcome.results)
+        print(f"wrote JSON results to {args.json}")
+    if args.csv:
+        write_sweep_csv(args.csv, outcome.results)
+        print(f"wrote CSV results to {args.csv}")
+    return 0
+
+
 def cmd_storage(_args: argparse.Namespace) -> int:
     report = compute_storage_report(ControllerConfig(), HierarchyConfig(), 36)
     print("HardHarvest hardware cost (Section 6.8):")
@@ -163,6 +230,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--servers", type=int, default=8)
     common(p_cl)
     p_cl.set_defaults(func=cmd_cluster)
+
+    p_sw = sub.add_parser(
+        "sweep", help="systems x seeds grid via the parallel runner + cache"
+    )
+    p_sw.add_argument("--systems", default="all",
+                      help='"all" or a comma list of system names')
+    p_sw.add_argument("--seeds", default="0..7",
+                      help='seed set: "0..7", "3", or "0,2,8..11"')
+    p_sw.add_argument("--workers", type=int, default=1,
+                      help="process-pool size (1 = in-process serial)")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="recompute every point; do not touch the cache")
+    p_sw.add_argument("--cache-dir", default=".repro_cache",
+                      help="result cache directory (default .repro_cache)")
+    p_sw.add_argument("--task-timeout", type=float, default=None,
+                      help="per-point timeout in seconds (default: none)")
+    p_sw.add_argument("--verify-cached", action="store_true",
+                      help="recompute cache hits and assert bit-identical")
+    p_sw.add_argument("--json", default=None, help="write results JSON here")
+    p_sw.add_argument("--csv", default=None, help="write results CSV here")
+    common(p_sw)
+    p_sw.set_defaults(func=cmd_sweep)
 
     p_st = sub.add_parser("storage", help="Section 6.8 hardware cost")
     p_st.set_defaults(func=cmd_storage)

@@ -6,7 +6,7 @@ helpers keep that output consistent and diff-friendly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 
 def format_table(
@@ -47,3 +47,38 @@ def with_average(values: Dict[str, float]) -> Dict[str, float]:
     out = dict(values)
     out["Avg"] = sum(values.values()) / len(values)
     return out
+
+
+SWEEP_COLUMNS = ("mean", "std", "min", "max", "n")
+
+
+def sweep_aggregate(samples: Dict[str, Sequence[float]]) -> Dict[str, List[float]]:
+    """Collapse per-point samples (e.g. one value per seed) into
+    mean/std/min/max/n rows, keyed by group (e.g. system name).
+
+    This is the row shape of every multi-seed robustness table: the sweep
+    runner produces one result per (system, seed) point and the report
+    groups them back by system.
+    """
+    out: Dict[str, List[float]] = {}
+    for name, values in samples.items():
+        vals = list(values)
+        if not vals:
+            raise ValueError(f"no samples for {name!r}")
+        mean = sum(vals) / len(vals)
+        var = sum((v - mean) ** 2 for v in vals) / len(vals)
+        out[name] = [mean, var ** 0.5, min(vals), max(vals), float(len(vals))]
+    return out
+
+
+def format_sweep_table(
+    title: str,
+    samples: Dict[str, Sequence[float]],
+    unit: str = "",
+    precision: int = 2,
+) -> str:
+    """Render a mean/std/min/max/n table from per-group sample lists."""
+    return format_table(
+        title, SWEEP_COLUMNS, sweep_aggregate(samples), unit=unit,
+        precision=precision,
+    )

@@ -56,13 +56,12 @@ from repro.mem.hierarchy import CoreMemory, build_llc
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.stats import (
-    Breakdown,
     BreakdownRecorder,
     Counter,
     LatencyRecorder,
     UtilizationTracker,
 )
-from repro.sim.units import SEC, US
+from repro.sim.units import SEC
 from repro.workloads.batch import BATCH_JOBS, BatchJobProfile
 from repro.workloads.alibaba import sample_instances, utilization_timeseries
 from repro.workloads.loadgen import (

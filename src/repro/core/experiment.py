@@ -11,17 +11,27 @@ This is the public entry point a downstream user touches::
 independent (microservices never talk across servers, Section 5), each
 hosting all eight Primary services and one Harvest VM with a *different*
 batch application.
+
+Both ``run_systems`` and ``run_cluster`` accept ``workers=`` and
+``cache=``: with either set, the runs are routed through
+:mod:`repro.parallel` — fanned out over a process pool and/or served from
+the content-addressed result cache — with bit-identical results to the
+serial path (the simulator is deterministic and servers/systems are
+independent).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.cluster.server import ServerSimulation
 from repro.config import SimulationConfig, SystemConfig
 from repro.core.metrics import ClusterResult, ServerResult
 from repro.sim.units import SEC
 from repro.workloads.batch import BATCH_JOBS, BatchJobProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.cache import ResultCache
 
 
 def summarize(sim: ServerSimulation) -> ServerResult:
@@ -81,29 +91,47 @@ def run_cluster(
     simcfg: Optional[SimulationConfig] = None,
     batch_jobs: Optional[Sequence[BatchJobProfile]] = None,
     parallel: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> ClusterResult:
     """Simulate ``simcfg.servers_to_simulate`` independent servers.
 
     Server ``i`` runs batch job ``i`` (mod 8), mirroring the paper's
     one-batch-application-per-server cluster — servers never communicate
-    (Section 5), which is also why ``parallel=True`` can farm them out to
-    a process pool (exactly as the authors parallelized their SST runs)
-    without changing any result.
+    (Section 5), which is also why the servers can be farmed out to a
+    process pool (exactly as the authors parallelized their SST runs)
+    without changing any result.  ``workers=N`` routes through
+    :func:`repro.parallel.run_sweep` (optionally with a ``cache``);
+    ``parallel=True`` is the legacy spelling of ``workers=8``.
     """
     simcfg = simcfg or SimulationConfig()
     jobs = list(batch_jobs or BATCH_JOBS)
+    if parallel and workers is None:
+        workers = min(8, simcfg.servers_to_simulate)
+    if workers is not None or cache is not None:
+        from repro.parallel.runner import run_sweep
+        from repro.parallel.sweep import SweepPoint
+
+        points = [
+            SweepPoint(
+                label=f"server={i}",
+                system=system,
+                sim=simcfg,
+                batch_job=jobs[i % len(jobs)],
+                server_index=i,
+            )
+            for i in range(simcfg.servers_to_simulate)
+        ]
+        outcome = run_sweep(points, workers=workers or 1, cache=cache)
+        return ClusterResult(
+            system=system.name, servers=list(outcome.results.values())
+        )
     work = [
         (system, simcfg, jobs[i % len(jobs)], i)
         for i in range(simcfg.servers_to_simulate)
     ]
     result = ClusterResult(system=system.name)
-    if parallel and len(work) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(8, len(work))) as pool:
-            result.servers.extend(pool.map(_run_one_server, work))
-    else:
-        result.servers.extend(_run_one_server(w) for w in work)
+    result.servers.extend(_run_one_server(w) for w in work)
     return result
 
 
@@ -111,9 +139,30 @@ def run_systems(
     systems: Dict[str, SystemConfig],
     simcfg: Optional[SimulationConfig] = None,
     batch_job: Optional[BatchJobProfile] = None,
+    workers: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> Dict[str, ServerResult]:
     """Run several systems on the identical workload (same seed) and return
-    results keyed by system name — the shape every comparison figure needs."""
+    results keyed by system name — the shape every comparison figure needs.
+
+    ``workers=N`` fans the systems out over a process pool and ``cache=``
+    serves repeats from the content-addressed result cache; both produce
+    results bit-identical to the serial path.
+    """
+    if workers is not None or cache is not None:
+        from repro.parallel.runner import run_sweep
+        from repro.parallel.sweep import SweepPoint
+
+        points = [
+            SweepPoint(
+                label=name,
+                system=cfg,
+                sim=simcfg or SimulationConfig(),
+                batch_job=batch_job,
+            )
+            for name, cfg in systems.items()
+        ]
+        return dict(run_sweep(points, workers=workers or 1, cache=cache).results)
     return {
         name: run_server(cfg, simcfg, batch_job) for name, cfg in systems.items()
     }

@@ -8,6 +8,12 @@ tracking); these helpers give them stable, flat file formats:
   (system, service) with p50/p99/mean.
 * :func:`write_samples_csv` — raw latency samples from a live simulation
   (for CDFs and custom percentiles).
+* :func:`server_result_to_dict` / :func:`server_result_from_dict` —
+  *lossless* round trip (breakdowns stay in integer ns) used by the
+  :mod:`repro.parallel` result cache, where cached and recomputed results
+  must compare bit-identical.
+* :func:`write_sweep_json` / :func:`write_sweep_csv` — sweep results keyed
+  by point label (``python -m repro sweep`` artifacts).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Dict, Iterable, List
 
 from repro.cluster.server import ServerSimulation
 from repro.core.metrics import ServerResult
+from repro.sim.stats import Breakdown
 
 
 def result_to_json(result: ServerResult) -> Dict:
@@ -80,6 +87,82 @@ def write_latency_csv(path: str, results: Iterable[ServerResult]) -> None:
         writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
         writer.writeheader()
         writer.writerows(rows)
+
+
+def server_result_to_dict(result: ServerResult) -> Dict:
+    """Lossless encoding of a :class:`ServerResult` into JSON-able types.
+
+    Unlike :func:`result_to_json` (which converts breakdowns to ms floats
+    for human consumption), this keeps every field at its native precision
+    so ``server_result_from_dict(server_result_to_dict(r)) == r`` exactly.
+    """
+    return {
+        "system": result.system,
+        "batch_job": result.batch_job,
+        "p99_ms": dict(result.p99_ms),
+        "p50_ms": dict(result.p50_ms),
+        "mean_ms": dict(result.mean_ms),
+        "breakdown": {
+            svc: {
+                "reassign_ns": b.reassign_ns,
+                "flush_ns": b.flush_ns,
+                "execution_ns": b.execution_ns,
+                "queueing_ns": b.queueing_ns,
+            }
+            for svc, b in result.breakdown.items()
+        },
+        "avg_busy_cores": result.avg_busy_cores,
+        "batch_units_per_s": result.batch_units_per_s,
+        "l2_hit_rate": result.l2_hit_rate,
+        "counters": dict(result.counters),
+        "simulated_seconds": result.simulated_seconds,
+    }
+
+
+def server_result_from_dict(data: Dict) -> ServerResult:
+    """Inverse of :func:`server_result_to_dict`."""
+    return ServerResult(
+        system=data["system"],
+        batch_job=data["batch_job"],
+        p99_ms=dict(data["p99_ms"]),
+        p50_ms=dict(data["p50_ms"]),
+        mean_ms=dict(data["mean_ms"]),
+        breakdown={
+            svc: Breakdown(**fields) for svc, fields in data["breakdown"].items()
+        },
+        avg_busy_cores=data["avg_busy_cores"],
+        batch_units_per_s=data["batch_units_per_s"],
+        l2_hit_rate=data["l2_hit_rate"],
+        counters=dict(data["counters"]),
+        simulated_seconds=data["simulated_seconds"],
+    )
+
+
+def write_sweep_json(path: str, results: Dict[str, ServerResult]) -> None:
+    """Write sweep results keyed by point label (lossless encoding)."""
+    payload = {label: server_result_to_dict(r) for label, r in results.items()}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def write_sweep_csv(path: str, results: Dict[str, ServerResult]) -> None:
+    """One flat row per (point label, service) with the headline metrics."""
+    if not results:
+        raise ValueError("no results to export")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["label", "system", "batch_job", "service", "p50_ms", "p99_ms",
+             "mean_ms", "avg_busy_cores", "batch_units_per_s"]
+        )
+        for label, result in results.items():
+            for svc in result.p99_ms:
+                writer.writerow(
+                    [label, result.system, result.batch_job, svc,
+                     result.p50_ms[svc], result.p99_ms[svc],
+                     result.mean_ms[svc], result.avg_busy_cores,
+                     result.batch_units_per_s]
+                )
 
 
 def write_samples_csv(path: str, sim: ServerSimulation) -> int:

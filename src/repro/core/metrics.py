@@ -9,7 +9,7 @@ time breakdowns (Figure 6). These containers hold exactly those views.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.sim.stats import Breakdown
 

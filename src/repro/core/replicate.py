@@ -66,17 +66,29 @@ def replicate(
     simcfg: SimulationConfig,
     seeds: Sequence[int],
     parallel: bool = False,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> List[ServerResult]:
-    """Run one system once per seed."""
+    """Run one system once per seed.
+
+    ``workers=N``/``cache=`` route the seeds through
+    :func:`repro.parallel.run_sweep` (process-pool fan-out plus the
+    content-addressed result cache); ``parallel=True`` is the legacy
+    spelling of ``workers=8``.  Results are bit-identical either way.
+    """
     if not seeds:
         raise ValueError("no seeds given")
-    configs = [replace(simcfg, seed=s) for s in seeds]
-    if parallel and len(seeds) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    if parallel and workers is None:
+        workers = min(8, len(seeds))
+    if workers is not None or cache is not None:
+        from repro.parallel import SweepSpec, run_sweep
 
-        with ProcessPoolExecutor(max_workers=min(8, len(seeds))) as pool:
-            return list(pool.map(run_server, [system] * len(seeds), configs))
-    return [run_server(system, cfg) for cfg in configs]
+        spec = SweepSpec(
+            systems={system.name: system}, seeds=tuple(seeds), sim=simcfg
+        )
+        outcome = run_sweep(spec, workers=workers or 1, cache=cache)
+        return list(outcome.results.values())
+    return [run_server(system, replace(simcfg, seed=s)) for s in seeds]
 
 
 def compare_metric(

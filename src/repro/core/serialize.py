@@ -10,7 +10,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from enum import Enum
-from typing import Any, Dict, Type, TypeVar
+from typing import Any, Dict, TypeVar
 
 from repro.config import SimulationConfig, SystemConfig
 

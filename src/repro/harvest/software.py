@@ -16,7 +16,7 @@ never sees them (Section 3). The hardware agent harvests those gaps.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict
 
 from repro.config import HarvestTrigger, SmartHarvestConfig
 from repro.harvest.base import HarvestAgent

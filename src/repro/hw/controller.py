@@ -9,7 +9,7 @@ departure (their chunks return to the remaining subqueues).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.config import ControllerConfig
 from repro.hw.context import RequestContextMemory

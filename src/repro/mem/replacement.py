@@ -18,7 +18,7 @@ ways are accessible (Section 4.2.1).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 
 class CacheSet:

@@ -1,0 +1,43 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The fan-out/cache substrate behind ``python -m repro sweep``, the
+``workers=``/``cache=`` paths of :func:`repro.run_systems` and
+:func:`repro.run_cluster`, and the figure benchmarks:
+
+* :class:`SweepSpec` / :class:`SweepPoint` — declarative (system, seed,
+  override) grids, enumerated in deterministic order.
+* :func:`run_sweep` — process-pool execution with per-task timeout,
+  retry-once-on-crash, and collection keyed by point.
+* :class:`ResultCache` — content-addressed on-disk cache under
+  ``.repro_cache/`` keyed by config hash + package version.
+"""
+
+from repro.parallel.cache import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    canonical_json,
+)
+from repro.parallel.runner import (
+    DeterminismError,
+    SweepError,
+    SweepOutcome,
+    execute_payload,
+    run_sweep,
+)
+from repro.parallel.sweep import SweepPoint, SweepSpec, parse_seeds
+
+__all__ = [
+    "SweepSpec",
+    "SweepPoint",
+    "parse_seeds",
+    "run_sweep",
+    "SweepOutcome",
+    "SweepError",
+    "DeterminismError",
+    "execute_payload",
+    "ResultCache",
+    "CacheStats",
+    "canonical_json",
+    "DEFAULT_CACHE_DIR",
+]

@@ -1,0 +1,172 @@
+"""Content-addressed on-disk result cache for sweep points.
+
+Cache-key contract (also documented in ``docs/api.md``):
+
+* The key is ``sha256(canonical_json(payload) + "\\n" + version)`` where
+  ``payload`` is :meth:`SweepPoint.payload` — the *complete* serialized
+  experiment description (system config, simulation config, batch job,
+  server index) — and ``version`` is the ``repro`` package version.
+* ``canonical_json`` sorts keys and uses compact separators, so two
+  configs that compare equal always hash equal regardless of field
+  declaration or dict insertion order.
+* Any config field change, seed change, or package version bump therefore
+  produces a *different* key: stale results are never returned, they are
+  merely orphaned (and reclaimable with :meth:`ResultCache.prune_stale`).
+
+Entries live under ``<root>/<key[:2]>/<key>.json`` and store the version
+and payload alongside the result, so a cache directory is self-describing
+and auditable.  Writes go to a temp file in the same directory followed by
+:func:`os.replace`, so concurrent writers (e.g. two pytest workers racing
+on the same point) can never leave a torn file — last writer wins, and
+both wrote identical bytes anyway because runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import repro
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def canonical_json(obj: Any) -> str:
+    """Stable serialization: sorted keys, compact separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries dropped because they were unreadable or recorded under a
+    #: different package version than the file location implies.
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store mapping sweep-point payloads to result dicts."""
+
+    root: str = DEFAULT_CACHE_DIR
+    version: str = field(default_factory=lambda: repro.__version__)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def key(self, payload: Dict[str, Any]) -> str:
+        """The content address of a sweep-point payload under this version."""
+        material = canonical_json(payload) + "\n" + self.version
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result dict for ``key``, or None on miss.
+
+        A corrupted or version-mismatched entry counts as a miss (plus an
+        invalidation) and is deleted so the recompute can overwrite it.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+            if entry.get("version") != self.version or "result" not in entry:
+                raise ValueError("stale or incomplete cache entry")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, OSError):
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, payload: Dict[str, Any], result: Dict[str, Any]) -> None:
+        """Store a result atomically (write-to-temp + rename)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"version": self.version, "payload": payload, "result": result}
+        fd, tmp = tempfile.mkstemp(
+            prefix=key[:8] + ".", suffix=".tmp", dir=os.path.dirname(path)
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def prune_stale(self) -> int:
+        """Delete entries recorded under a different package version.
+
+        Because the version participates in the key, stale entries can
+        never be *returned*; pruning just reclaims their disk space after
+        a version bump.  Returns the number of entries removed.
+        """
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    with open(path) as fh:
+                        entry = json.load(fh)
+                    stale = entry.get("version") != self.version
+                except (ValueError, OSError):
+                    stale = True
+                if stale:
+                    try:
+                        os.remove(path)
+                        removed += 1
+                        self.stats.invalidations += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir):
+                count += sum(1 for n in os.listdir(shard_dir) if n.endswith(".json"))
+        return count

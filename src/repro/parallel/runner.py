@@ -1,0 +1,205 @@
+"""Process-pool sweep execution with caching and deterministic collection.
+
+The simulator is fully deterministic (named RNG substreams seeded from the
+config) and sweep points are independent, so a sweep is embarrassingly
+parallel: :func:`run_sweep` fans points out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and collects results
+*keyed by point*, never by completion order — the returned mapping is in
+:meth:`SweepSpec.points` order no matter which worker finished first.
+
+Worker safety: a point crosses the process boundary as its canonical JSON
+payload (not as pickled live objects), and the worker rebuilds the frozen
+config dataclasses through :mod:`repro.core.serialize` — the same
+validated path the CLI uses for ``--config`` files.
+
+Failure policy: a worker crash, a poisoned pool, or a per-task timeout
+marks the point failed for that attempt; failed points are retried once in
+a fresh pool (or in-process when serial).  Points that fail twice raise
+:class:`SweepError` naming every failed label.
+
+Determinism guard: with ``verify_cached=True``, every cache hit is
+recomputed and the cached and fresh results must be *bit-identical*
+(compared as canonical JSON).  A mismatch raises :class:`DeterminismError`
+— this is the regression tripwire against hidden global-RNG use creeping
+into :mod:`repro.cluster.server` workers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.export import server_result_from_dict, server_result_to_dict
+from repro.core.metrics import ServerResult
+from repro.parallel.cache import CacheStats, ResultCache, canonical_json
+from repro.parallel.sweep import SweepPoint, SweepSpec
+from repro.workloads.batch import BatchJobProfile
+
+
+class SweepError(RuntimeError):
+    """One or more sweep points failed after exhausting retries."""
+
+
+class DeterminismError(RuntimeError):
+    """A cached result and its fresh recompute were not bit-identical."""
+
+
+def execute_payload(payload_json: str) -> Dict:
+    """Worker entry point: run one serialized sweep point to completion.
+
+    Module-level (picklable) and JSON-in/dict-out so the process boundary
+    never depends on pickling live simulator objects.
+    """
+    from repro.core.experiment import run_server
+    from repro.core.serialize import from_dict
+
+    payload = json.loads(payload_json)
+    system = from_dict(payload["system"])
+    sim = from_dict(payload["simulation"])
+    job = (
+        BatchJobProfile(**payload["batch_job"])
+        if payload.get("batch_job") is not None
+        else None
+    )
+    result = run_server(system, sim, job, server_index=payload["server_index"])
+    return server_result_to_dict(result)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, in spec order."""
+
+    #: Point label -> result, in enumeration order (dicts preserve it).
+    results: Dict[str, ServerResult]
+    #: Cache counters for this run (None when run uncached).
+    cache_stats: Optional[CacheStats]
+    #: Points actually simulated this run (cache misses).
+    computed: int = 0
+    #: Points served from the cache.
+    from_cache: int = 0
+    #: Points that needed a second attempt after a crash/timeout.
+    retried: int = 0
+    elapsed_s: float = 0.0
+    #: Label -> error string for first-attempt failures that then succeeded.
+    retry_errors: Dict[str, str] = field(default_factory=dict)
+
+
+def _execute_batch(
+    tasks: Sequence[Tuple[str, str]],
+    workers: int,
+    task_timeout: Optional[float],
+) -> Tuple[Dict[str, Dict], Dict[str, str]]:
+    """Run (label, payload_json) tasks; return (results, failures).
+
+    One pool attempt: failures carry the error text and are left for the
+    caller's retry logic.
+    """
+    done: Dict[str, Dict] = {}
+    failed: Dict[str, str] = {}
+    if not tasks:
+        return done, failed
+    if workers <= 1 or len(tasks) == 1:
+        for label, payload_json in tasks:
+            try:
+                done[label] = execute_payload(payload_json)
+            except Exception as exc:  # noqa: BLE001 - uniform retry handling
+                failed[label] = f"{type(exc).__name__}: {exc}"
+        return done, failed
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(tasks)))
+    try:
+        futures = [
+            (label, pool.submit(execute_payload, payload_json))
+            for label, payload_json in tasks
+        ]
+        for label, future in futures:
+            try:
+                done[label] = future.result(timeout=task_timeout)
+            except FutureTimeout:
+                future.cancel()
+                failed[label] = f"timed out after {task_timeout}s"
+            except Exception as exc:  # noqa: BLE001 - crash/broken pool
+                failed[label] = f"{type(exc).__name__}: {exc}"
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return done, failed
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Sequence[SweepPoint]],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    task_timeout: Optional[float] = None,
+    verify_cached: bool = False,
+) -> SweepOutcome:
+    """Execute every point of ``spec``; return results in spec order.
+
+    ``workers > 1`` fans cache misses out over a process pool; results are
+    nevertheless collected per point, so the output is identical to the
+    serial path.  With a ``cache``, previously-computed points are served
+    from disk and fresh results are stored back.  ``verify_cached=True``
+    additionally recomputes every hit and insists on bit-identical output
+    (see :class:`DeterminismError`).
+    """
+    points: List[SweepPoint] = (
+        list(spec.points()) if isinstance(spec, SweepSpec) else list(spec)
+    )
+    labels = [p.label for p in points]
+    if len(set(labels)) != len(labels):
+        dupes = sorted({x for x in labels if labels.count(x) > 1})
+        raise ValueError(f"duplicate sweep point labels: {dupes}")
+
+    started = time.monotonic()
+    payloads = {p.label: canonical_json(p.payload()) for p in points}
+    raw: Dict[str, Dict] = {}
+    keys: Dict[str, str] = {}
+
+    if cache is not None:
+        for point in points:
+            key = cache.key(json.loads(payloads[point.label]))
+            keys[point.label] = key
+            hit = cache.get(key)
+            if hit is not None:
+                raw[point.label] = hit
+
+    outcome = SweepOutcome(results={}, cache_stats=cache.stats if cache else None)
+    outcome.from_cache = len(raw)
+
+    pending = [(p.label, payloads[p.label]) for p in points if p.label not in raw]
+    if verify_cached and cache is not None:
+        # Recompute hits alongside the misses; compare after collection.
+        to_verify = [(lbl, payloads[lbl]) for lbl in raw]
+    else:
+        to_verify = []
+
+    done, failures = _execute_batch(pending + to_verify, workers, task_timeout)
+    if failures:
+        retry_done, still_failed = _execute_batch(
+            [(lbl, payloads[lbl]) for lbl in failures], workers, task_timeout
+        )
+        if still_failed:
+            detail = "; ".join(f"{lbl}: {err}" for lbl, err in still_failed.items())
+            raise SweepError(f"{len(still_failed)} sweep point(s) failed twice: {detail}")
+        outcome.retried = len(retry_done)
+        outcome.retry_errors = dict(failures)
+        done.update(retry_done)
+
+    for label, _ in to_verify:
+        fresh = done[label]
+        if canonical_json(fresh) != canonical_json(raw[label]):
+            raise DeterminismError(
+                f"cached result for {label!r} is not bit-identical to a fresh "
+                "recompute — a worker is consuming hidden non-deterministic "
+                "state (global RNG, wall clock, ...)"
+            )
+    for label, _ in pending:
+        raw[label] = done[label]
+        outcome.computed += 1
+        if cache is not None:
+            cache.put(keys[label], json.loads(payloads[label]), done[label])
+
+    outcome.results = {lbl: server_result_from_dict(raw[lbl]) for lbl in labels}
+    outcome.elapsed_s = time.monotonic() - started
+    return outcome

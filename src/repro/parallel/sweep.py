@@ -1,0 +1,140 @@
+"""Sweep enumeration: which (system, seed, config-override) points to run.
+
+Every evaluation in the paper is a sweep — five systems x many seeds x
+ablation knobs (Figures 11-19, Table 1).  A :class:`SweepSpec` describes
+one such grid declaratively; :meth:`SweepSpec.points` enumerates it in a
+*fixed, deterministic order* so that results can always be collected and
+reported keyed by point, never by completion order.
+
+A :class:`SweepPoint` is self-contained: it carries the full
+:class:`~repro.config.SystemConfig` and :class:`~repro.config.SimulationConfig`
+(plus the batch job and server index), so a worker process can execute it
+from its serialized form alone, and the serialized form doubles as the
+content-addressed cache key payload (see :mod:`repro.parallel.cache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import SimulationConfig, SystemConfig
+from repro.core.serialize import to_dict
+from repro.workloads.batch import BatchJobProfile
+
+
+def parse_seeds(text: str) -> Tuple[int, ...]:
+    """Parse a seed set from CLI grammar.
+
+    Accepts ``"0..7"`` (inclusive range), ``"3"``, or a comma list mixing
+    both: ``"0,2,8..11"``.
+    """
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ".." in part:
+            lo_text, hi_text = part.split("..", 1)
+            lo, hi = int(lo_text), int(hi_text)
+            if hi < lo:
+                raise ValueError(f"empty seed range {part!r}")
+            seeds.extend(range(lo, hi + 1))
+        else:
+            seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return tuple(seeds)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-specified simulation in a sweep."""
+
+    label: str
+    system: SystemConfig
+    sim: SimulationConfig
+    batch_job: Optional[BatchJobProfile] = None
+    server_index: int = 0
+
+    def payload(self) -> Dict[str, Any]:
+        """The complete, JSON-able description of this point.
+
+        This is everything that determines the simulation's output — it is
+        both what gets shipped to a worker process and what the result
+        cache hashes (combined with the package version) to form the key.
+        The ``label`` is deliberately excluded: renaming a point must not
+        change its identity.
+        """
+        return {
+            "system": to_dict(self.system),
+            "simulation": to_dict(self.sim),
+            "batch_job": (
+                dataclasses.asdict(self.batch_job)
+                if self.batch_job is not None
+                else None
+            ),
+            "server_index": self.server_index,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of simulations: systems x seeds x simulation-field overrides.
+
+    ``overrides`` is an ordered mapping from an axis label to a dict of
+    :class:`~repro.config.SimulationConfig` field overrides applied with
+    :func:`dataclasses.replace` — e.g. ``{"load1.5": {"load_scale": 1.5}}``
+    sweeps a load knob.  An empty mapping means a single unmodified axis.
+    """
+
+    systems: Mapping[str, SystemConfig]
+    seeds: Sequence[int] = (2025,)
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+    overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    batch_job: Optional[BatchJobProfile] = None
+
+    def __post_init__(self) -> None:
+        if not self.systems:
+            raise ValueError("SweepSpec needs at least one system")
+        if not self.seeds:
+            raise ValueError("SweepSpec needs at least one seed")
+        for axis, fields in self.overrides.items():
+            unknown = set(fields) - {
+                f.name for f in dataclasses.fields(SimulationConfig)
+            }
+            if unknown:
+                raise ValueError(
+                    f"override axis {axis!r} sets unknown "
+                    f"SimulationConfig fields {sorted(unknown)}"
+                )
+
+    def points(self) -> Iterator[SweepPoint]:
+        """Enumerate the grid in deterministic order.
+
+        Order: override axis (declaration order), then system (declaration
+        order), then seed (given order).  Labels are unique and stable:
+        ``"<system>/seed=<s>"`` plus ``"/<axis>"`` when an override applies.
+        """
+        axes: List[Tuple[str, Mapping[str, Any]]] = (
+            list(self.overrides.items()) if self.overrides else [("", {})]
+        )
+        for axis, fields in axes:
+            for name, system in self.systems.items():
+                for seed in self.seeds:
+                    sim = replace(self.sim, seed=seed, **dict(fields))
+                    label = f"{name}/seed={seed}"
+                    if axis:
+                        label += f"/{axis}"
+                    yield SweepPoint(
+                        label=label,
+                        system=system,
+                        sim=sim,
+                        batch_job=self.batch_job,
+                    )
+
+    def size(self) -> int:
+        return (
+            max(1, len(self.overrides)) * len(self.systems) * len(self.seeds)
+        )

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.sim.units import MS, SEC
+from repro.sim.units import SEC
 from repro.workloads.microservices import ServiceProfile
 
 

@@ -1,6 +1,5 @@
 """Tests for multi-server cluster runs (sequential and parallel)."""
 
-import pytest
 
 from repro.config import SimulationConfig
 from repro.core.experiment import run_cluster

@@ -1,7 +1,6 @@
 """Tests for the transition cost model (lend/reclaim/dispatch)."""
 
 import numpy as np
-import pytest
 
 from repro.config import (
     FlushScope,

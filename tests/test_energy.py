@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.energy import EnergyReport, energy_per_batch_unit, estimate_energy
+from repro.analysis.energy import energy_per_batch_unit, estimate_energy
 from repro.config import SimulationConfig
 from repro.core.experiment import run_server_raw
 from repro.core.presets import fig4_no_move, hardharvest_block, noharvest

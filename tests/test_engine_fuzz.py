@@ -5,7 +5,6 @@ load, fidelity, suite, or system, a run must terminate with every request
 accounted for, consistent loan bookkeeping, and non-negative time.
 """
 
-from dataclasses import replace
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the per-core hierarchy: access path, partitioning, flushing."""
 
-import pytest
 
 from repro.config import HierarchyConfig, MemoryConfig, PartitionConfig, ReplacementKind
 from repro.mem.address import AddressSpace

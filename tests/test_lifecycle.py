@@ -7,7 +7,6 @@ This scenario drives the controller with the event engine while VMs come
 and go, verifying the invariants hold *during* traffic, not just at rest.
 """
 
-import pytest
 
 from repro.config import ControllerConfig
 from repro.hw.controller import HardHarvestController

@@ -7,7 +7,6 @@ from repro.config import (
     FlushScope,
     ReplacementKind,
     SimulationConfig,
-    SystemConfig,
 )
 from repro.core.presets import hardharvest_block, harvest_term, noharvest
 from repro.core.serialize import dumps, from_dict, loads, to_dict

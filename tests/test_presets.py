@@ -1,6 +1,5 @@
 """Tests for the system presets and ablation ladders."""
 
-import pytest
 
 from repro.config import (
     FlushScope,

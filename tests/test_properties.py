@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.analysis.belady import belady_hit_rate, replay_policy
 from repro.hw.request_queue import RequestQueue, Subqueue
 from repro.mem.cache import SetAssocArray
-from repro.mem.partition import WayPartition, full_mask, harvest_mask
+from repro.mem.partition import WayPartition, full_mask
 from repro.mem.replacement import (
     CacheSet,
     HardHarvestPolicy,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw.request_queue import RequestQueue, RequestStatus, Subqueue
+from repro.hw.request_queue import RequestQueue, Subqueue
 
 
 class TestSubqueue:

@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.analysis.security import (
     audit_flush_on_idle,

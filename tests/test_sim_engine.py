@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.units import MS, US
 
 
 def test_events_fire_in_time_order():

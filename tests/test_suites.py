@@ -5,7 +5,7 @@ import pytest
 from repro.config import SimulationConfig
 from repro.core.experiment import run_server, run_server_raw
 from repro.core.presets import hardharvest_block, noharvest
-from repro.workloads.suites import HOTEL_BACKENDS, HOTEL_SERVICES, SUITES, get_suite
+from repro.workloads.suites import HOTEL_BACKENDS, HOTEL_SERVICES, get_suite
 
 FAST = SimulationConfig(
     horizon_ms=70, warmup_ms=10, accesses_per_segment=8, seed=8, suite="hotel"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.vm import BatchUnit, HarvestVm, PrimaryVm, SharedQueueAdapter, SoftwareQueue
+from repro.cluster.vm import BatchUnit, HarvestVm, SharedQueueAdapter, SoftwareQueue
 from repro.config import ControllerConfig
 from repro.hw.controller import HardHarvestController
 from repro.mem.address import AddressSpace
