@@ -21,6 +21,7 @@ Package map:
 * :mod:`repro.harvest`   -- lending agents and the transition cost model.
 * :mod:`repro.workloads` -- services, batch jobs/kernels, Alibaba traces.
 * :mod:`repro.core`      -- presets and the experiment API.
+* :mod:`repro.faults`    -- deterministic fault injection + client retries.
 * :mod:`repro.parallel`  -- sweep fan-out and the on-disk result cache.
 * :mod:`repro.analysis`  -- Belady replay, report formatting.
 """
@@ -51,8 +52,19 @@ from repro.core import (
     run_server_raw,
     run_systems,
 )
+from repro.faults import (
+    ClientPolicy,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    get_scenario,
+    scenario_names,
+)
 
-__version__ = "1.0.0"
+# 1.1.0: ServerResult grew the ``resilience`` field and SimulationConfig
+# the ``faults``/``client`` fields; the bump invalidates pre-fault cache
+# entries so cached and recomputed results stay bit-identical.
+__version__ = "1.1.0"
 
 from repro.parallel import (  # noqa: E402 - needs __version__ for cache keys
     ResultCache,
@@ -91,4 +103,10 @@ __all__ = [
     "run_systems",
     "ServerResult",
     "ClusterResult",
+    "FaultKind",
+    "FaultSpec",
+    "FaultSchedule",
+    "ClientPolicy",
+    "get_scenario",
+    "scenario_names",
 ]

@@ -7,6 +7,9 @@ Commands
 ``cluster``  — the paper's multi-server setup (one batch job per server).
 ``sweep``    — a (systems x seeds) grid through the parallel runner and
                the content-addressed result cache (:mod:`repro.parallel`).
+``faults``   — run a canned fault scenario (:mod:`repro.faults`) and report
+               the degradation profile (goodput, retry amplification, SLO
+               violations, time-to-recovery) per system.
 ``storage``  — print the Section 6.8 hardware cost accounting.
 
 Examples::
@@ -15,6 +18,8 @@ Examples::
     python -m repro compare --seed 7
     python -m repro cluster --servers 4
     python -m repro sweep --systems all --seeds 0..7 --workers 4
+    python -m repro faults --scenario crash-storm --workers 2
+    python -m repro faults --list
     python -m repro storage
 """
 
@@ -63,8 +68,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     simcfg = _sim_config(args)
     if args.config:
-        with open(args.config) as fh:
-            system, loaded_sim = loads(fh.read())
+        try:
+            with open(args.config) as fh:
+                system, loaded_sim = loads(fh.read())
+        except OSError as exc:
+            print(f"cannot read --config {args.config!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"--config {args.config!r} is not a valid experiment "
+                  f"config: {exc}", file=sys.stderr)
+            return 2
         if loaded_sim is not None:
             simcfg = loaded_sim
         name = system.name
@@ -186,6 +200,84 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run one canned fault scenario across systems and report degradation."""
+    from repro.analysis.report import format_resilience_table
+    from repro.core.export import write_sweep_json
+    from repro.faults import SCENARIOS, get_scenario, scenario_names
+    from repro.parallel import DeterminismError, ResultCache, SweepError, run_sweep
+    from repro.parallel.sweep import SweepPoint
+
+    if args.list:
+        for name in scenario_names():
+            scenario = get_scenario(name, args.horizon_ms)
+            print(f"{name:12s} {scenario.description} "
+                  f"({len(scenario.schedule)} fault(s))")
+        return 0
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; choose from "
+              f"{scenario_names()}", file=sys.stderr)
+        return 2
+    systems = all_systems()
+    wanted = [name.strip() for name in args.systems.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in systems]
+    if unknown:
+        print(f"unknown system(s) {unknown}; choose from {SYSTEM_NAMES}",
+              file=sys.stderr)
+        return 2
+
+    scenario = get_scenario(args.scenario, args.horizon_ms)
+    simcfg = replace(
+        _sim_config(args), faults=scenario.schedule, client=scenario.client
+    )
+    print(f"=== scenario {scenario.name}: {scenario.description}")
+    print(scenario.schedule.describe())
+    print(f"client: timeout={scenario.client.timeout_ms:g}ms "
+          f"retries<={scenario.client.max_retries} "
+          f"budget={scenario.client.retry_budget:g} "
+          f"hedge={scenario.client.hedge_ms or 'off'} "
+          f"admission_depth={scenario.client.admission_queue_depth or 'off'}\n")
+
+    points = [
+        SweepPoint(label=name, system=systems[name], sim=simcfg)
+        for name in wanted
+    ]
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    try:
+        outcome = run_sweep(points, workers=args.workers, cache=cache)
+    except (SweepError, DeterminismError) as exc:
+        print(f"fault run failed: {exc}", file=sys.stderr)
+        return 1
+
+    results = outcome.results
+    print(format_resilience_table(results))
+    print()
+    cols = ["p99_ms", "goodput_rps", "timeouts", "retries", "hedges"]
+    rows = {
+        name: [
+            res.avg_p99_ms(),
+            res.resilience.get("goodput_rps", 0.0),
+            res.resilience.get("timeouts", 0.0),
+            res.resilience.get("retries", 0.0),
+            res.resilience.get("hedges", 0.0),
+        ]
+        for name, res in results.items()
+    }
+    print(format_table("Latency and client effort", cols, rows))
+    print(f"\n{len(points)} point(s) in {outcome.elapsed_s:.1f}s with "
+          f"{args.workers} worker(s): {outcome.computed} computed, "
+          f"{outcome.from_cache} from cache")
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache [{args.cache_dir}]: {stats.hits} hit(s), "
+              f"{stats.misses} miss(es) "
+              f"({stats.hit_rate() * 100:.0f}% hit rate)")
+    if args.json:
+        write_sweep_json(args.json, results)
+        print(f"wrote JSON results to {args.json}")
+    return 0
+
+
 def cmd_storage(_args: argparse.Namespace) -> int:
     report = compute_storage_report(ControllerConfig(), HierarchyConfig(), 36)
     print("HardHarvest hardware cost (Section 6.8):")
@@ -252,6 +344,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--csv", default=None, help="write results CSV here")
     common(p_sw)
     p_sw.set_defaults(func=cmd_sweep)
+
+    p_ft = sub.add_parser(
+        "faults", help="canned fault scenario + degradation report"
+    )
+    p_ft.add_argument("--scenario", default="crash-storm",
+                      help="scenario name (see --list)")
+    p_ft.add_argument("--list", action="store_true",
+                      help="list available scenarios and exit")
+    p_ft.add_argument("--systems", default="NoHarvest,HardHarvest-Block",
+                      help="comma list of systems to compare under faults")
+    p_ft.add_argument("--workers", type=int, default=1,
+                      help="process-pool size (1 = in-process serial)")
+    p_ft.add_argument("--no-cache", action="store_true",
+                      help="recompute every point; do not touch the cache")
+    p_ft.add_argument("--cache-dir", default=".repro_cache",
+                      help="result cache directory (default .repro_cache)")
+    p_ft.add_argument("--json", default=None, help="write results JSON here")
+    common(p_ft)
+    p_ft.set_defaults(func=cmd_faults)
 
     p_st = sub.add_parser("storage", help="Section 6.8 hardware cost")
     p_st.set_defaults(func=cmd_storage)

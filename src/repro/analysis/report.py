@@ -49,6 +49,39 @@ def with_average(values: Dict[str, float]) -> Dict[str, float]:
     return out
 
 
+#: The degradation metrics every fault-scenario report shows, in column
+#: order: how much of the offered load became goodput, how hard the
+#: clients had to work for it, and how long the damage lingered.
+RESILIENCE_COLUMNS = (
+    "goodput",
+    "retry_amp",
+    "slo_viol",
+    "failed",
+    "shed",
+    "recov_ms",
+)
+
+
+def format_resilience_table(results: Dict[str, object], precision: int = 3) -> str:
+    """Render the degradation profile of fault-injected runs: one row per
+    system/point, built from each result's ``resilience`` dict."""
+    rows: Dict[str, List[float]] = {}
+    for name, result in results.items():
+        res = getattr(result, "resilience", None) or {}
+        rows[name] = [
+            res.get("goodput", 0.0),
+            res.get("retry_amplification", 0.0),
+            res.get("slo_violation_rate", 0.0),
+            res.get("failed", 0.0),
+            res.get("shed", 0.0),
+            res.get("recovery_ms_max", 0.0),
+        ]
+    return format_table(
+        "Degradation under faults", RESILIENCE_COLUMNS, rows,
+        precision=precision,
+    )
+
+
 SWEEP_COLUMNS = ("mean", "std", "min", "max", "n")
 
 

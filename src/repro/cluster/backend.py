@@ -56,6 +56,9 @@ class BackendService:
         self.sim = sim
         self.name = name
         self.workers = workers
+        #: Configured worker count; ``workers`` may drop below this during
+        #: an injected brownout and is restored from here afterwards.
+        self.nominal_workers = workers
         self.busy = 0
         #: (service_demand_ns, callback, enqueue_time_ns)
         self.queue: Deque[Tuple[int, Callable[[], None], int]] = deque()
@@ -79,10 +82,25 @@ class BackendService:
 
     def _finish(self, on_done: Callable[[], None]) -> None:
         self.busy -= 1
-        if self.queue:
+        # busy can exceed workers right after a brownout cuts capacity;
+        # in-flight queries run to completion but no new ones start until
+        # occupancy drops below the (reduced) worker count.
+        if self.queue and self.busy < self.workers:
             demand, cb, enqueued_at = self.queue.popleft()
             self._start(demand, cb, self.sim.now - enqueued_at)
         on_done()
+
+    def set_capacity(self, workers: int) -> None:
+        """Change the effective worker count (brownout fault window).
+
+        Shrinking never aborts in-flight queries; growing immediately
+        drains the queue into the newly freed workers."""
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        while self.queue and self.busy < self.workers:
+            demand, cb, enqueued_at = self.queue.popleft()
+            self._start(demand, cb, self.sim.now - enqueued_at)
 
     def mean_queue_us(self) -> float:
         if self.calls == 0:

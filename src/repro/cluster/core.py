@@ -20,6 +20,9 @@ from repro.mem.hierarchy import CoreMemory
 IDLE = "idle"
 BUSY = "busy"
 SWITCHING = "switching"
+#: Parked by an injected core-stall fault: the core holds no work and is
+#: invisible to dispatch, stealing, and lending until the fault window ends.
+STALLED = "stalled"
 
 
 class Core:
@@ -44,6 +47,9 @@ class Core:
         #: In-flight work handles (set by the engine).
         self.current_request: Optional[object] = None
         self.batch_event: Optional[object] = None
+        #: Handle of the in-flight dispatch/segment/lend/reclaim event, so
+        #: a server-crash fault can cancel the core's pending transition.
+        self.run_event: Optional[object] = None
         self.batch_unit_start_ns = 0
         self.batch_unit_duration_ns = 0
         self.batch_unit_remaining_tag: Optional[float] = None

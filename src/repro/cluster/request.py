@@ -36,6 +36,10 @@ class Request:
         "completion_ns",
         "steered_core_id",
         "context_slot",
+        "failed",
+        "logical_id",
+        "attempt",
+        "deadline_event",
     )
 
     def __init__(
@@ -69,6 +73,17 @@ class Request:
         #: Request Context Memory slot holding the register state while the
         #: request is blocked on I/O (hardware context switching).
         self.context_slot: Optional[int] = None
+        #: Abandoned: killed by a fault, timed out, shed, or superseded by a
+        #: winning hedge. In-flight events for a failed attempt clean up and
+        #: drop their results instead of completing the request.
+        self.failed = False
+        #: The logical (client-visible) request this attempt serves; retries
+        #: and hedges share a logical_id with the original attempt.
+        self.logical_id = req_id
+        #: 1 for the original attempt, 2+ for retries/hedges.
+        self.attempt = 1
+        #: Cancellable deadline timer armed by the client runtime.
+        self.deadline_event: Optional[object] = None
 
     @property
     def blocks_remaining(self) -> int:

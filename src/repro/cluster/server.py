@@ -39,11 +39,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.config import HarvestTrigger, SimulationConfig, SystemConfig
-from repro.cluster.core import BUSY, IDLE, SWITCHING, Core
+from repro.cluster.core import BUSY, IDLE, STALLED, SWITCHING, Core
 from repro.cluster.backend import BackendTier
 from repro.cluster.nic import Nic
 from repro.cluster.request import Request
 from repro.cluster.vm import HarvestVm, PrimaryVm, SharedQueueAdapter, SoftwareQueue
+from repro.faults.client import ClientRuntime
+from repro.faults.injector import FaultInjector
 from repro.harvest.base import HarvestAgent, NoHarvestAgent
 from repro.harvest.costs import CostModel
 from repro.harvest.hardware import HardwareAgent
@@ -209,6 +211,16 @@ class ServerSimulation:
         self._finished = False
 
         # ------------------------------------------------------------------
+        # Fault injection + client resilience (robustness experiments).
+        # ------------------------------------------------------------------
+        self.injector: Optional[FaultInjector] = None
+        if simcfg.faults is not None and len(simcfg.faults):
+            self.injector = FaultInjector(self, simcfg.faults)
+        self.client: Optional[ClientRuntime] = None
+        if simcfg.client is not None:
+            self.client = ClientRuntime(self, simcfg.client)
+
+        # ------------------------------------------------------------------
         # Pre-draw workload: identical across systems given the same seed.
         # ------------------------------------------------------------------
         self._generate_workload()
@@ -280,8 +292,12 @@ class ServerSimulation:
                     private_region=vm.memory.new_invocation(),
                 )
                 req_id += 1
+                if self.client is not None:
+                    self.client.register(req, exec_ns, ios)
                 self.sim.schedule_at(t, self._arrival, vm, req)
                 self._target_completions += 1
+        #: Continuation of the pre-drawn id space for retry/hedge attempts.
+        self._next_req_id = req_id
 
     def _trace_driven_arrivals(self, vm, arr_rng, horizon_ns: int):
         """Arrivals at the rates of a matched Alibaba instance (Section 5).
@@ -315,6 +331,8 @@ class ServerSimulation:
     def run(self) -> None:
         """Run until all Primary requests complete (or the safety cap)."""
         self.agent.start()
+        if self.injector is not None:
+            self.injector.start()
         for hvm in self.harvest_vms:
             if hvm.active:
                 for core in hvm.cores:
@@ -356,12 +374,49 @@ class ServerSimulation:
     # Arrival and dispatch
     # ==================================================================
     def _arrival(self, vm: PrimaryVm, req: Request) -> None:
+        if self.client is not None:
+            # Arm the attempt's deadline before the network can lose it:
+            # the client only learns of a drop when the deadline expires.
+            self.client.on_attempt_arrival(vm, req)
+            if req.failed:
+                return  # stale hedge/retry of an already-resolved logical
+        extra_ns = 0
+        if self.injector is not None:
+            dropped, extra_ns = self.injector.arrival_fate()
+            if dropped:
+                self._drop_attempt(vm, req)
+                return
         latency = self.nic.deliver(
             vm.llc, (vm.vm_id << 44) | (1 << 30), lambda: None
         )
-        self.sim.schedule(latency, self._enqueue, vm, req)
+        self.sim.schedule(latency + extra_ns, self._enqueue, vm, req)
+
+    def _drop_attempt(self, vm: PrimaryVm, req: Request) -> None:
+        """The network (or a dark server) swallowed this attempt."""
+        if self.client is not None:
+            # The deadline timer keeps running; its expiry drives the retry.
+            req.failed = True
+        else:
+            self._fail_attempt(vm, req)
 
     def _enqueue(self, vm: PrimaryVm, req: Request) -> None:
+        if req.failed:
+            return
+        if self.injector is not None and self.injector.server_down:
+            # The server died between NIC delivery and enqueue.
+            self.counters.incr("faults_arrivals_dropped")
+            self._drop_attempt(vm, req)
+            return
+        if (
+            self.client is not None
+            and self.client.policy.admission_queue_depth > 0
+            and vm.queue.pending() >= self.client.policy.admission_queue_depth
+        ):
+            # Admission control: fast-fail instead of growing the queue
+            # without bound; the client backs off and retries.
+            self.counters.incr("admission_shed")
+            self.client.on_shed(vm, req)
+            return
         req.ready_since_ns = self.sim.now
         if self.per_core_steering:
             # RSS steering with slow re-steer: the NIC hashes flows over the
@@ -462,7 +517,7 @@ class ServerSimulation:
         else:
             delay = self.costs.dispatch_ns(self.rng.stream("costs"))
         req.breakdown.queueing_ns += self.sim.now - req.ready_since_ns + delay
-        self.sim.schedule(delay, self._dispatch_done, core, vm, req)
+        core.run_event = self.sim.schedule(delay, self._dispatch_done, core, vm, req)
 
     def _loaned_core_ids(self, vm: PrimaryVm) -> set:
         return {c.core_id for c in vm.cores if c.on_loan}
@@ -485,9 +540,16 @@ class ServerSimulation:
             delay += self.system.software_costs.rebalance_ns
         queue_wait = self.sim.now - req.ready_since_ns
         req.breakdown.queueing_ns += queue_wait + delay
-        self.sim.schedule(delay, self._dispatch_done, core, vm, req)
+        core.run_event = self.sim.schedule(delay, self._dispatch_done, core, vm, req)
 
     def _dispatch_done(self, core: Core, vm: PrimaryVm, req: Request) -> None:
+        core.run_event = None
+        if req.failed:
+            # Abandoned (timeout/crash) while the dispatch was in flight.
+            core.current_request = None
+            vm.queue.discard(req)
+            self._core_released(core, "term")
+            return
         if req.context_slot is not None and self.controller is not None:
             # Resume from I/O: restore the parked register state.
             self.controller.context_memory.restore(req.context_slot)
@@ -525,10 +587,22 @@ class ServerSimulation:
 
     def _run_segment(self, core: Core, vm: PrimaryVm, req: Request) -> None:
         duration = self._segment_duration_ns(core, vm, req)
+        if self.injector is not None:
+            duration = int(duration * self.injector.slowdown_factor(core.core_id))
         req.breakdown.execution_ns += duration
-        self.sim.schedule(duration, self._segment_done, core, vm, req)
+        core.run_event = self.sim.schedule(
+            duration, self._segment_done, core, vm, req
+        )
 
     def _segment_done(self, core: Core, vm: PrimaryVm, req: Request) -> None:
+        core.run_event = None
+        if req.failed:
+            # The attempt was abandoned mid-segment; drop the result.
+            core.current_request = None
+            self._leave_busy()
+            vm.queue.discard(req)
+            self._core_released(core, "term")
+            return
         req.segments_done += 1
         core.current_request = None
         self._leave_busy()
@@ -555,15 +629,21 @@ class ServerSimulation:
         else:
             vm.queue.complete(req)
             req.completion_ns = self.sim.now
-            if req.measured:
-                lat = req.latency_ns()
-                self.latency[vm.name].record(lat)
-                self.latency_all.record(lat)
-                self.breakdowns.record(vm.name, req.breakdown)
-            self._completions += 1
-            if self._completions >= self._target_completions:
-                self._finished = True
-                self.sim.stop()
+            if self.client is not None:
+                # The client dedupes hedges/retries and supplies the
+                # logical (first-arrival to now) latency.
+                counted, lat = self.client.on_complete(vm, req)
+                if counted:
+                    self.latency[vm.name].record(lat)
+                    self.latency_all.record(lat)
+                    self.breakdowns.record(vm.name, req.breakdown)
+            else:
+                if req.measured:
+                    lat = req.latency_ns()
+                    self.latency[vm.name].record(lat)
+                    self.latency_all.record(lat)
+                    self.breakdowns.record(vm.name, req.breakdown)
+                self._logical_resolved()
             self._core_released(core, "term")
 
     def _issue_backend_call(
@@ -583,11 +663,24 @@ class ServerSimulation:
         )
 
     def _io_complete(self, vm: PrimaryVm, req: Request) -> None:
+        if req.failed:
+            return  # abandoned while blocked; its entry is already gone
         vm.queue.mark_ready(req)
         req.ready_since_ns = self.sim.now
         self._work_available(vm)
 
     def _core_released(self, core: Core, cause: str) -> None:
+        if self.injector is not None and self.injector.is_stalled(core):
+            # Core-stall fault: finish cleanup, then park until the window
+            # ends (the injector resumes us via _resume_stalled).
+            if core.guest_vm_id is not None:
+                core.memory.flush_private_full()
+                core.guest_vm_id = None
+                self.counters.incr("buffer_returns")
+            core.state = STALLED
+            core.idle_cause = cause
+            core.idle_since = self.sim.now
+            return
         if core.guest_vm_id is not None:
             guest = self.vms_by_id[core.guest_vm_id]
             owner_vm = self.vms_by_id.get(core.owner_vm_id)
@@ -623,11 +716,29 @@ class ServerSimulation:
                 # it after the OS rebalance latency.
                 self._start_dispatch(core, owner, steal=True)
                 return
+            if self.injector is not None and self.injector.server_down:
+                return  # dark server: nothing to lend or serve
             if self.agent.on_core_idle(core, cause):
                 self._start_lend(core)
         elif isinstance(owner, HarvestVm):
             if owner.active:
                 self._start_batch_unit(core)
+
+    def _resume_stalled(self, core: Core) -> None:
+        """A core-stall window ended: put the core back to work."""
+        if core.state != STALLED:
+            return
+        core.state = IDLE
+        if core.on_loan:
+            owner = self.vms_by_id.get(core.owner_vm_id)
+            if isinstance(owner, PrimaryVm) and owner.queue.has_ready(
+                core.core_id if self.per_core_steering else None
+            ):
+                self._start_reclaim(owner, core)
+            else:
+                self._start_batch_unit(core)
+            return
+        self._core_released(core, "term")
 
     # ==================================================================
     # Lending (Primary -> Harvest)
@@ -635,6 +746,8 @@ class ServerSimulation:
     def start_lend(self, core: Core) -> None:
         """Public entry for agents (e.g. the SmartHarvest monitor)."""
         if core.state != IDLE or core.on_loan or core.guest_vm_id is not None:
+            return
+        if self.injector is not None and self.injector.server_down:
             return
         owner = self.vms_by_id.get(core.owner_vm_id)
         if not isinstance(owner, PrimaryVm) or owner.queue.has_ready(
@@ -652,7 +765,9 @@ class ServerSimulation:
         self.counters.incr("lends")
         if self.controller is not None:
             self.controller.qm_for(owner.vm_id).lend_core(core.core_id)
-        self.sim.schedule(cost.critical_ns, self._lend_done, core, cost.flush)
+        core.run_event = self.sim.schedule(
+            cost.critical_ns, self._lend_done, core, cost.flush
+        )
 
     def _pick_harvest_vm(self) -> HarvestVm:
         """Round-robin lend target among the server's Harvest VMs."""
@@ -671,6 +786,7 @@ class ServerSimulation:
         return self.harvest_vm
 
     def _lend_done(self, core: Core, flush) -> None:
+        core.run_event = None
         flushed = flush()
         self.counters.incr("lend_flushed_entries", flushed)
         target = self._pick_harvest_vm()
@@ -717,6 +833,14 @@ class ServerSimulation:
         return int(base * (1.0 + job.sync_overhead * max(0, active)))
 
     def _start_batch_unit(self, core: Core) -> None:
+        if self.injector is not None:
+            if self.injector.server_down:
+                core.state = IDLE
+                return
+            if self.injector.is_stalled(core):
+                core.state = STALLED
+                core.idle_since = self.sim.now
+                return
         hvm = self._harvest_vm_of(core)
         if not hvm.active:
             core.state = IDLE
@@ -730,6 +854,8 @@ class ServerSimulation:
         duration = int(
             self._batch_unit_duration_ns(core, hvm) * unit.remaining_frac
         )
+        if self.injector is not None:
+            duration = int(duration * self.injector.slowdown_factor(core.core_id))
         duration = max(1, duration)
         core.state = BUSY
         core.batch_unit_start_ns = self.sim.now
@@ -744,6 +870,10 @@ class ServerSimulation:
         self._harvest_vm_of(core).units_completed += frac
         core.batch_event = None
         self._leave_busy()
+        if self.injector is not None and self.injector.is_stalled(core):
+            core.state = STALLED
+            core.idle_since = self.sim.now
+            return
         owner = self.vms_by_id.get(core.owner_vm_id)
         if (
             core.on_loan
@@ -804,9 +934,12 @@ class ServerSimulation:
         cost = self.costs.reclaim_cost(core.memory, self.rng.stream("costs"))
         core.pending_reassign_ns = cost.reassign_ns
         core.pending_flush_ns = cost.flush_ns
-        self.sim.schedule(cost.critical_ns, self._reclaim_done, core, cost.flush)
+        core.run_event = self.sim.schedule(
+            cost.critical_ns, self._reclaim_done, core, cost.flush
+        )
 
     def _reclaim_done(self, core: Core, flush) -> None:
+        core.run_event = None
         flushed = flush()
         self.counters.incr("reclaim_flushed_entries", flushed)
         core.on_loan = False
@@ -821,6 +954,130 @@ class ServerSimulation:
         # Back in the Primary VM: dispatch if work remains, else the core is
         # idle (and, per Section 4.1.4, immediately lendable again).
         self._core_released(core, "term")
+
+    # ==================================================================
+    # Fault handling (driven by the FaultInjector / ClientRuntime)
+    # ==================================================================
+    def _next_attempt_id(self) -> int:
+        """Fresh request id for a client retry/hedge attempt."""
+        rid = self._next_req_id
+        self._next_req_id += 1
+        return rid
+
+    def _logical_resolved(self) -> None:
+        """One logical request reached a terminal state (completed, lost,
+        or permanently failed); the run ends when all of them have."""
+        self._completions += 1
+        if self._completions >= self._target_completions:
+            self._finished = True
+            self.sim.stop()
+
+    def _fail_attempt(self, vm: PrimaryVm, req: Request) -> None:
+        """Abandon an attempt: scrub its queue entry and context slot.
+
+        Idempotent. With a client, resolution is the client's job (the
+        deadline timer will fire and drive a retry or a permanent failure);
+        without one, the request is simply lost and resolved here.
+        """
+        if req.failed or req.completion_ns is not None:
+            return
+        req.failed = True
+        if req.context_slot is not None and self.controller is not None:
+            try:
+                self.controller.context_memory.restore(req.context_slot)
+            except KeyError:
+                pass
+            req.context_slot = None
+        vm.queue.discard(req)
+        if self.client is None:
+            self.counters.incr("requests_lost")
+            self._logical_resolved()
+
+    def _crash_begin(self) -> None:
+        """SERVER_CRASH window opens: every in-flight request, queued
+        entry, and batch unit on this server dies; cores reset clean."""
+        self.counters.incr("faults_crashes")
+        now = self.sim.now
+        for core in self.cores:
+            if core.run_event is not None:
+                core.run_event.cancel()
+                core.run_event = None
+            if core.batch_event is not None:
+                core.batch_event.cancel()
+                core.batch_event = None
+                self._harvest_vm_of(core).work_lost_ns += max(
+                    0, now - core.batch_unit_start_ns
+                )
+            req = core.current_request
+            if req is not None:
+                core.current_request = None
+                self._fail_attempt(self.vms_by_id[req.vm_id], req)
+            core.state = IDLE
+            core.idle_cause = "term"
+            core.idle_since = now
+            core.on_loan = False
+            core.reclaim_in_flight = False
+            core.guest_vm_id = None
+            core.running_vm_id = core.owner_vm_id
+            core.pending_reassign_ns = 0
+            core.pending_flush_ns = 0
+            core.batch_unit_remaining_tag = None
+        self._busy = 0
+        self.util.set_busy(now, 0)
+        for vm in self.primary_vms:
+            for req in vm.queue.drain():
+                self._fail_attempt(vm, req)
+        if self.controller is not None:
+            for qm in self.controller.qms.values():
+                for core_id in list(qm.on_loan):
+                    qm.reclaim_core(core_id)
+            for hvm in self.harvest_vms:
+                for unit in hvm.partial_units:
+                    if unit.context_slot is not None:
+                        try:
+                            self.controller.context_memory.restore(
+                                unit.context_slot
+                            )
+                        except KeyError:
+                            pass
+        for hvm in self.harvest_vms:
+            hvm.partial_units.clear()
+        if self.injector is not None:
+            # A concurrently active stall window keeps its cores parked
+            # through the restart.
+            for core in self.cores:
+                if self.injector.is_stalled(core):
+                    core.state = STALLED
+
+    def _crash_end(self) -> None:
+        """SERVER_CRASH window closes: the server restarts clean and
+        resumes serving (new arrivals + client retries) and batching."""
+        self.counters.incr("faults_restarts")
+        for hvm in self.harvest_vms:
+            if hvm.active:
+                for core in hvm.cores:
+                    if core.state == IDLE:
+                        self._start_batch_unit(core)
+        for vm in self.primary_vms:
+            self._work_available(vm)
+
+    def resilience_summary(self) -> Dict[str, float]:
+        """Degradation metrics (goodput, retry amplification, SLO violation
+        rate, time-to-recovery) when faults and/or a client are configured;
+        empty for plain runs."""
+        if self.client is not None:
+            return self.client.summary(self.end_ns)
+        if self.injector is not None:
+            offered = float(self._target_completions)
+            lost = float(self.counters["requests_lost"])
+            completed = offered - lost
+            return {
+                "offered": offered,
+                "completed": completed,
+                "failed": lost,
+                "goodput": completed / max(1.0, offered),
+            }
+        return {}
 
     # ==================================================================
     # Results

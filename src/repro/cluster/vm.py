@@ -121,6 +121,12 @@ class SoftwareQueue:
     def complete(self, request: object) -> None:
         self._sq.complete(request)
 
+    def discard(self, request: object) -> bool:
+        return self._sq.discard(request)
+
+    def drain(self) -> List[object]:
+        return self._sq.drain()
+
     def pending(self) -> int:
         return self._sq.total_pending()
 
@@ -167,6 +173,12 @@ class SharedQueueAdapter:
 
     def complete(self, request: object) -> None:
         self.qm.complete(request)
+
+    def discard(self, request: object) -> bool:
+        return self.qm.subqueue.discard(request)
+
+    def drain(self) -> List[object]:
+        return self.qm.subqueue.drain()
 
     def pending(self) -> int:
         return self.qm.pending()

@@ -16,6 +16,16 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
 
+# Re-exported here so the serializer's type registry (which walks this
+# module) can round-trip fault/resilience configs embedded in
+# SimulationConfig.  spec.py imports nothing from repro.config, so there
+# is no cycle.
+from repro.faults.spec import (  # noqa: F401 - registry re-export
+    ClientPolicy,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+)
 from repro.sim.units import KB, MB, MS, US
 
 
@@ -456,3 +466,9 @@ class SimulationConfig:
     trace_driven: bool = False
     #: Interval length of the synthetic utilization trace when trace-driven.
     trace_interval_ms: float = 25.0
+    #: Deterministic fault schedule injected into the run (None = fault-free).
+    #: Part of the serialized experiment, hence of the result-cache key.
+    faults: Optional[FaultSchedule] = None
+    #: Client-side resilience policy (deadlines, retries, backoff, hedging,
+    #: admission control). None = legacy open-loop clients with no timeouts.
+    client: Optional[ClientPolicy] = None

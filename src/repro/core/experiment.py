@@ -52,6 +52,7 @@ def summarize(sim: ServerSimulation) -> ServerResult:
         l2_hit_rate=sim.l2_primary_hit_rate(),
         counters=sim.counters.as_dict(),
         simulated_seconds=sim.end_ns / SEC,
+        resilience=sim.resilience_summary(),
     )
 
 

@@ -54,6 +54,7 @@ def result_to_json(result: ServerResult) -> Dict:
             for svc, b in result.breakdown.items()
         },
         "counters": dict(result.counters),
+        "resilience": dict(result.resilience),
     }
 
 
@@ -116,6 +117,7 @@ def server_result_to_dict(result: ServerResult) -> Dict:
         "l2_hit_rate": result.l2_hit_rate,
         "counters": dict(result.counters),
         "simulated_seconds": result.simulated_seconds,
+        "resilience": dict(result.resilience),
     }
 
 
@@ -135,6 +137,8 @@ def server_result_from_dict(data: Dict) -> ServerResult:
         l2_hit_rate=data["l2_hit_rate"],
         counters=dict(data["counters"]),
         simulated_seconds=data["simulated_seconds"],
+        # .get: results cached before the resilience field existed.
+        resilience=dict(data.get("resilience", {})),
     )
 
 

@@ -29,6 +29,10 @@ class ServerResult:
     l2_hit_rate: float
     counters: Dict[str, int]
     simulated_seconds: float
+    #: Degradation metrics under fault injection / client resilience
+    #: (goodput, retry_amplification, slo_violation_rate, recovery_ms_*);
+    #: empty for plain runs.
+    resilience: Dict[str, float] = field(default_factory=dict)
 
     def avg_p99_ms(self) -> float:
         return sum(self.p99_ms.values()) / len(self.p99_ms)

@@ -1,0 +1,54 @@
+"""Deterministic fault injection and client resilience.
+
+* :mod:`repro.faults.spec`      — serializable :class:`FaultSpec` /
+  :class:`FaultSchedule` / :class:`ClientPolicy` (ride inside
+  :class:`~repro.config.SimulationConfig`, hash into the result-cache key).
+* :mod:`repro.faults.scenarios` — canned scenarios for the CLI.
+* :mod:`repro.faults.injector`  — the runtime :class:`FaultInjector` that
+  arms a schedule on a :class:`~repro.cluster.server.ServerSimulation`.
+* :mod:`repro.faults.client`    — the runtime :class:`ClientRuntime`
+  implementing deadlines, retries with backoff + jitter, a retry budget,
+  hedging, and admission control.
+
+Only the pure-config modules are imported eagerly; the runtime modules
+import :mod:`repro.config` and are loaded lazily to avoid a cycle when
+``repro.config`` imports :mod:`repro.faults.spec`.
+"""
+
+from repro.faults.spec import (
+    ClientPolicy,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.scenarios import (
+    SCENARIOS,
+    FaultScenario,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "ClientPolicy",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultScenario",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+    "FaultInjector",
+    "ClientRuntime",
+]
+
+
+def __getattr__(name):  # lazy runtime imports (avoid config import cycle)
+    if name == "FaultInjector":
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector
+    if name == "ClientRuntime":
+        from repro.faults.client import ClientRuntime
+
+        return ClientRuntime
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,295 @@
+"""Client-side resilience: deadlines, retries, hedging, load shedding.
+
+Real microservice clients do not wait forever: they attach a deadline to
+every RPC, retry failed attempts with capped exponential backoff + jitter,
+bound total retries with a retry budget (so retries cannot amplify an
+overload into a storm), optionally hedge slow requests, and accept
+fast-fail responses from server-side admission control.
+
+:class:`ClientRuntime` implements all of that on top of a
+:class:`~repro.cluster.server.ServerSimulation`. The unit of accounting is
+the *logical* request (one pre-drawn workload item); each transmission is
+an *attempt* (a fresh :class:`~repro.cluster.request.Request` sharing the
+logical's demand draw). The first completed attempt resolves the logical;
+late siblings are cancelled.
+
+Failure detection is timeout-driven and unified: the client cannot observe
+a dropped packet or a crashed server directly — it discovers both when the
+attempt's deadline expires. Abandoned attempts are tagged with the fault
+windows overlapping their lifetime, which feeds the per-fault
+time-to-recovery metric.
+
+All randomness (backoff jitter) comes from the server's deterministic
+``client`` RNG stream, so resilience behaviour is bit-identical across
+serial and parallel sweep execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cluster.request import Request
+from repro.faults.spec import ClientPolicy
+
+
+class LogicalRequest:
+    """Client-side state for one pre-drawn workload item."""
+
+    __slots__ = (
+        "logical_id",
+        "vm_id",
+        "service",
+        "arrival_ns",
+        "measured",
+        "exec_ns",
+        "io_ns",
+        "retries_used",
+        "attempts_issued",
+        "inflight",
+        "completed",
+        "failed",
+        "hedged",
+        "hedge_event",
+        "fault_ids",
+    )
+
+    def __init__(self, req: Request, exec_ns: int, io_ns: List[int]):
+        self.logical_id = req.req_id
+        self.vm_id = req.vm_id
+        self.service = req.service
+        self.arrival_ns = req.arrival_ns
+        self.measured = req.measured
+        self.exec_ns = exec_ns
+        self.io_ns = list(io_ns)
+        self.retries_used = 0
+        self.attempts_issued = 1
+        self.inflight: Set[Request] = set()
+        self.completed = False
+        self.failed = False
+        self.hedged = False
+        self.hedge_event: Optional[object] = None
+        self.fault_ids: Set[int] = set()
+
+
+class ClientRuntime:
+    """The resilience layer for one server's clients."""
+
+    def __init__(self, server, policy: ClientPolicy):
+        self.server = server
+        self.policy = policy
+        self.rng = server.rng.stream("client")
+        self.logicals: Dict[int, LogicalRequest] = {}
+        # --- resilience accounting ------------------------------------
+        self.arrived = 0  # logical requests whose first attempt arrived
+        self.attempts = 0  # transmissions that reached the server NIC
+        self.retries_issued = 0
+        self.hedges = 0
+        self.timeouts = 0
+        self.shed = 0
+        self.completed = 0
+        self.completed_in_slo = 0
+        self.failed_permanently = 0
+        #: fault idx -> latest resolution time after the fault window ended
+        #: (ns); the per-fault time-to-recovery.
+        self.recovery_ns: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (server workload generation)
+    # ------------------------------------------------------------------
+    def register(self, req: Request, exec_ns: int, io_ns: List[int]) -> None:
+        """Record the demand draw of a pre-generated first attempt so
+        retries can replay the identical work."""
+        lg = LogicalRequest(req, exec_ns, io_ns)
+        lg.inflight.add(req)
+        self.logicals[req.req_id] = lg
+
+    # ------------------------------------------------------------------
+    # Server engine hooks
+    # ------------------------------------------------------------------
+    def on_attempt_arrival(self, vm, req: Request) -> None:
+        """An attempt reached the server NIC: arm its deadline timer.
+
+        Called for *every* attempt, including ones the injector is about to
+        drop — the client cannot see a lost packet, only a missed deadline.
+        """
+        lg = self.logicals[req.logical_id]
+        if lg.completed or lg.failed:
+            req.failed = True
+            return
+        self.attempts += 1
+        if req.attempt == 1:
+            self.arrived += 1
+            if self.policy.hedge_ms is not None:
+                lg.hedge_event = self.server.sim.schedule(
+                    int(self.policy.hedge_ms * 1e6), self._maybe_hedge, vm, lg
+                )
+        req.deadline_event = self.server.sim.schedule(
+            self.policy.timeout_ns, self._on_timeout, vm, req
+        )
+
+    def on_complete(self, vm, req: Request):
+        """An attempt finished. Returns ``(count_latency, latency_ns)``:
+        whether the logical is measured and resolved by this attempt, and
+        its end-to-end (first-arrival to now) latency."""
+        now = self.server.sim.now
+        if req.deadline_event is not None:
+            req.deadline_event.cancel()
+            req.deadline_event = None
+        lg = self.logicals[req.logical_id]
+        lg.inflight.discard(req)
+        if lg.completed or lg.failed:
+            return False, 0
+        lg.completed = True
+        if lg.hedge_event is not None:
+            lg.hedge_event.cancel()
+            lg.hedge_event = None
+        # Cancel the losing siblings (hedges / zombie retries).
+        for sibling in list(lg.inflight):
+            self.server._fail_attempt(vm, sibling)
+        lg.inflight.clear()
+        self.completed += 1
+        latency_ns = now - lg.arrival_ns
+        if latency_ns <= int(self.policy.effective_slo_ms * 1e6):
+            self.completed_in_slo += 1
+        self._note_recovery(lg, now)
+        self.server._logical_resolved()
+        return lg.measured, latency_ns
+
+    def on_shed(self, vm, req: Request) -> None:
+        """Admission control fast-failed this attempt before queueing."""
+        self.shed += 1
+        if req.deadline_event is not None:
+            req.deadline_event.cancel()
+            req.deadline_event = None
+        req.failed = True
+        lg = self.logicals[req.logical_id]
+        lg.inflight.discard(req)
+        if lg.completed or lg.failed or lg.inflight:
+            return
+        lg.fault_ids |= self._overlapping(req.arrival_ns, self.server.sim.now)
+        self._retry_or_fail(vm, lg)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _on_timeout(self, vm, req: Request) -> None:
+        req.deadline_event = None
+        lg = self.logicals[req.logical_id]
+        if lg.completed or lg.failed or req.completion_ns is not None:
+            return
+        self.timeouts += 1
+        if not req.failed:
+            # Abandon the attempt wherever it is (queued, blocked, or
+            # running); in-flight engine events observe ``failed`` and
+            # clean up.
+            self.server._fail_attempt(vm, req)
+        lg.inflight.discard(req)
+        lg.fault_ids |= self._overlapping(req.arrival_ns, self.server.sim.now)
+        if lg.inflight:
+            return  # a hedge sibling is still racing
+        self._retry_or_fail(vm, lg)
+
+    def _maybe_hedge(self, vm, lg: LogicalRequest) -> None:
+        lg.hedge_event = None
+        if lg.completed or lg.failed or lg.hedged or not lg.inflight:
+            return
+        lg.hedged = True
+        self.hedges += 1
+        self._issue_attempt(vm, lg)
+
+    # ------------------------------------------------------------------
+    # Retry machinery
+    # ------------------------------------------------------------------
+    def _retry_or_fail(self, vm, lg: LogicalRequest) -> None:
+        budget = int(self.policy.retry_budget * max(1, self.arrived))
+        if lg.retries_used >= self.policy.max_retries or self.retries_issued >= budget:
+            lg.failed = True
+            self.failed_permanently += 1
+            if lg.hedge_event is not None:
+                lg.hedge_event.cancel()
+                lg.hedge_event = None
+            self._note_recovery(lg, self.server.sim.now)
+            self.server._logical_resolved()
+            return
+        lg.retries_used += 1
+        self.retries_issued += 1
+        self.server.sim.schedule(
+            self._backoff_ns(lg.retries_used), self._issue_attempt, vm, lg
+        )
+
+    def _backoff_ns(self, nth_retry: int) -> int:
+        delay_ms = min(
+            self.policy.backoff_cap_ms,
+            self.policy.backoff_base_ms
+            * self.policy.backoff_multiplier ** (nth_retry - 1),
+        )
+        if self.policy.backoff_jitter > 0:
+            spread = self.policy.backoff_jitter * (2.0 * self.rng.random() - 1.0)
+            delay_ms *= 1.0 + spread
+        return max(1, int(delay_ms * 1e6))
+
+    def _issue_attempt(self, vm, lg: LogicalRequest) -> None:
+        if lg.completed or lg.failed:
+            return
+        lg.attempts_issued += 1
+        req = Request(
+            req_id=self.server._next_attempt_id(),
+            vm_id=lg.vm_id,
+            service=lg.service,
+            arrival_ns=self.server.sim.now,
+            measured=False,  # the logical, not the attempt, is measured
+            exec_ns=lg.exec_ns,
+            io_durations_ns=list(lg.io_ns),
+            private_region=vm.memory.new_invocation(),
+        )
+        req.logical_id = lg.logical_id
+        req.attempt = lg.attempts_issued
+        lg.inflight.add(req)
+        self.attempts += 1
+        self.server._arrival(vm, req)
+
+    # ------------------------------------------------------------------
+    # Degradation metrics
+    # ------------------------------------------------------------------
+    def _overlapping(self, a_ns: int, b_ns: int):
+        injector = self.server.injector
+        if injector is None:
+            return frozenset()
+        return injector.faults_overlapping(a_ns, b_ns)
+
+    def _note_recovery(self, lg: LogicalRequest, now: int) -> None:
+        """The last fault-affected logical to resolve defines that fault's
+        time-to-recovery (how long after the window the damage lingered)."""
+        injector = self.server.injector
+        if injector is None or not lg.fault_ids:
+            return
+        for idx in lg.fault_ids:
+            lag = now - injector.schedule.events[idx].end_ns
+            if lag >= 0:
+                self.recovery_ns[idx] = max(self.recovery_ns.get(idx, 0), lag)
+
+    def summary(self, end_ns: int) -> Dict[str, float]:
+        """Resilience counters for :class:`~repro.core.metrics.ServerResult`."""
+        arrived = max(1, self.arrived)
+        seconds = max(1e-9, end_ns / 1e9)
+        recoveries = list(self.recovery_ns.values())
+        return {
+            "offered": float(self.arrived),
+            "completed": float(self.completed),
+            "completed_in_slo": float(self.completed_in_slo),
+            "failed": float(self.failed_permanently),
+            "attempts": float(self.attempts),
+            "retries": float(self.retries_issued),
+            "hedges": float(self.hedges),
+            "shed": float(self.shed),
+            "timeouts": float(self.timeouts),
+            "goodput": self.completed_in_slo / arrived,
+            "retry_amplification": self.attempts / arrived,
+            "slo_violation_rate": 1.0 - self.completed_in_slo / arrived,
+            "offered_rps": self.arrived / seconds,
+            "goodput_rps": self.completed_in_slo / seconds,
+            "recovery_ms_mean": (
+                sum(recoveries) / len(recoveries) / 1e6 if recoveries else 0.0
+            ),
+            "recovery_ms_max": max(recoveries) / 1e6 if recoveries else 0.0,
+        }

@@ -1,0 +1,217 @@
+"""The runtime fault injector: arms a :class:`FaultSchedule` on a server.
+
+One injector per :class:`~repro.cluster.server.ServerSimulation`. At
+``start()`` it schedules a begin/end event pair per
+:class:`~repro.faults.spec.FaultSpec`; between them it maintains the active
+fault state the server engine consults on its hot paths:
+
+* :meth:`arrival_fate` — packet drop / extra delay for each arriving request
+  (``SERVER_CRASH``, ``PACKET_LOSS``, ``PACKET_DELAY``);
+* :meth:`slowdown_factor` — per-core execution multiplier
+  (``CORE_SLOWDOWN``);
+* :meth:`is_stalled` — whether a core must park instead of picking up work
+  (``CORE_STALL``);
+* :attr:`server_down` — whole-server dark window (``SERVER_CRASH``); the
+  heavyweight kill/restart transitions are delegated to
+  ``server._crash_begin()`` / ``server._crash_end()``.
+
+``BACKEND_BROWNOUT`` rescales backend worker pools in place and
+``RQ_CHUNK_FAIL`` sheds RQ chunks from every Primary subqueue (hardware
+systems), forcing arrivals through the In-memory Overflow Subqueue.
+
+Determinism: the only randomness (loss coin flips, delay jitter) comes from
+the server's dedicated ``faults/net`` RNG stream, drawn in event order — a
+fault-injected run is a pure function of (config, seed) and is bit-identical
+between serial and parallel sweep execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.cluster.core import IDLE, STALLED, Core
+from repro.cluster.vm import PrimaryVm
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
+
+
+class FaultInjector:
+    """Drives one server's fault schedule and tracks active fault state."""
+
+    def __init__(self, server, schedule: FaultSchedule):
+        self.server = server
+        self.schedule = schedule
+        self.net_rng = server.rng.stream("faults/net")
+        #: Overlapping crash windows nest; the server is down while > 0.
+        self._down = 0
+        #: idx -> per-packet drop probability (active PACKET_LOSS windows).
+        self._loss: Dict[int, float] = {}
+        #: idx -> mean extra delay ns (active PACKET_DELAY windows).
+        self._delay: Dict[int, int] = {}
+        #: idx -> spec (active CORE_SLOWDOWN windows).
+        self._slow: Dict[int, FaultSpec] = {}
+        #: idx -> spec (active CORE_STALL windows).
+        self._stalls: Dict[int, FaultSpec] = {}
+        #: idx -> vm_id -> shed chunk ids (active RQ_CHUNK_FAIL windows).
+        self._shed: Dict[int, Dict[int, List[int]]] = {}
+        #: backend name -> idx -> capacity fraction (active brownouts).
+        self._brown: Dict[str, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def server_down(self) -> bool:
+        return self._down > 0
+
+    def start(self) -> None:
+        """Arm the schedule (called from ``ServerSimulation.run``)."""
+        self.server.counters.incr("faults_injected", len(self.schedule))
+        for idx, spec in enumerate(self.schedule.events):
+            self.server.sim.schedule_at(spec.start_ns, self._begin, idx, spec)
+            self.server.sim.schedule_at(
+                max(spec.start_ns + 1, spec.end_ns), self._end, idx, spec
+            )
+
+    def faults_overlapping(self, a_ns: int, b_ns: int) -> FrozenSet[int]:
+        """Indices of schedule events whose window overlaps [a_ns, b_ns].
+
+        Used to tag a failed attempt with the faults plausibly responsible,
+        which feeds the per-fault time-to-recovery metric."""
+        return frozenset(
+            idx
+            for idx, spec in enumerate(self.schedule.events)
+            if spec.start_ns <= b_ns and spec.end_ns >= a_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path queries from the server engine
+    # ------------------------------------------------------------------
+    def arrival_fate(self) -> Tuple[bool, int]:
+        """(dropped, extra_delay_ns) for a request arriving right now."""
+        if self._down > 0:
+            self.server.counters.incr("faults_arrivals_dropped")
+            return True, 0
+        if self._loss:
+            survive = 1.0
+            for p in self._loss.values():
+                survive *= 1.0 - p
+            if self.net_rng.random() < 1.0 - survive:
+                self.server.counters.incr("faults_arrivals_dropped")
+                return True, 0
+        extra = 0
+        if self._delay:
+            mean_ns = sum(self._delay.values())
+            extra = int(self.net_rng.exponential(mean_ns))
+            if extra > 0:
+                self.server.counters.incr("faults_net_delayed")
+        return False, extra
+
+    def slowdown_factor(self, core_id: int) -> float:
+        factor = 1.0
+        for spec in self._slow.values():
+            if spec.target < 0 or spec.target == core_id:
+                factor *= spec.magnitude
+        return factor
+
+    def is_stalled(self, core: Core) -> bool:
+        for spec in self._stalls.values():
+            if spec.target == core.core_id:
+                return True
+            if spec.target < 0 and isinstance(
+                self.server.vms_by_id.get(core.owner_vm_id), PrimaryVm
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Window transitions
+    # ------------------------------------------------------------------
+    def _begin(self, idx: int, spec: FaultSpec) -> None:
+        kind = spec.kind
+        if kind is FaultKind.SERVER_CRASH:
+            self._down += 1
+            if self._down == 1:
+                self.server._crash_begin()
+        elif kind is FaultKind.PACKET_LOSS:
+            self._loss[idx] = spec.magnitude
+        elif kind is FaultKind.PACKET_DELAY:
+            self._delay[idx] = int(spec.magnitude * 1000)  # us -> ns
+        elif kind is FaultKind.CORE_SLOWDOWN:
+            self._slow[idx] = spec
+        elif kind is FaultKind.CORE_STALL:
+            self._stalls[idx] = spec
+            for core in self.server.cores:
+                if core.state == IDLE and self.is_stalled(core):
+                    core.state = STALLED
+                    core.idle_since = self.server.sim.now
+        elif kind is FaultKind.BACKEND_BROWNOUT:
+            for name in self._brownout_targets(spec):
+                self._brown.setdefault(name, {})[idx] = spec.magnitude
+                self._recompute_backend(name)
+        elif kind is FaultKind.RQ_CHUNK_FAIL:
+            self._begin_rq_fail(idx, spec)
+
+    def _end(self, idx: int, spec: FaultSpec) -> None:
+        kind = spec.kind
+        if kind is FaultKind.SERVER_CRASH:
+            self._down -= 1
+            if self._down == 0:
+                self.server._crash_end()
+        elif kind is FaultKind.PACKET_LOSS:
+            self._loss.pop(idx, None)
+        elif kind is FaultKind.PACKET_DELAY:
+            self._delay.pop(idx, None)
+        elif kind is FaultKind.CORE_SLOWDOWN:
+            self._slow.pop(idx, None)
+        elif kind is FaultKind.CORE_STALL:
+            self._stalls.pop(idx, None)
+            for core in self.server.cores:
+                if core.state == STALLED and not self.is_stalled(core):
+                    self.server._resume_stalled(core)
+        elif kind is FaultKind.BACKEND_BROWNOUT:
+            for name in self._brownout_targets(spec):
+                active = self._brown.get(name, {})
+                active.pop(idx, None)
+                self._recompute_backend(name)
+        elif kind is FaultKind.RQ_CHUNK_FAIL:
+            self._end_rq_fail(idx)
+
+    # ------------------------------------------------------------------
+    def _brownout_targets(self, spec: FaultSpec) -> List[str]:
+        services = self.server.backends.services
+        if spec.target_name:
+            return [spec.target_name] if spec.target_name in services else []
+        return sorted(services)
+
+    def _recompute_backend(self, name: str) -> None:
+        svc = self.server.backends.services[name]
+        fraction = 1.0
+        for mag in self._brown.get(name, {}).values():
+            fraction *= mag
+        svc.set_capacity(max(1, int(round(svc.nominal_workers * fraction))))
+
+    def _begin_rq_fail(self, idx: int, spec: FaultSpec) -> None:
+        controller = self.server.controller
+        if controller is None:
+            # Software-scheduled systems have no RQ to degrade.
+            self.server.counters.incr("faults_rq_noop")
+            return
+        shed: Dict[int, List[int]] = {}
+        for qm in controller.primary_qms():
+            sq = qm.subqueue
+            # Keep >= 1 chunk: overflow entries are only dequeuable after
+            # promotion into hardware, so zero capacity would strand them.
+            n = min(
+                len(sq.rq_map) - 1,
+                int(round(spec.magnitude * len(sq.rq_map))),
+            )
+            if n <= 0:
+                continue
+            shed[qm.vm_id] = [sq.shed_chunk() for _ in range(n)]
+            self.server.counters.incr("faults_rq_chunks_shed", n)
+        self._shed[idx] = shed
+
+    def _end_rq_fail(self, idx: int) -> None:
+        controller = self.server.controller
+        for vm_id, chunks in self._shed.pop(idx, {}).items():
+            sq = controller.qm_for(vm_id).subqueue
+            for chunk in reversed(chunks):
+                sq.grant_chunk(chunk)

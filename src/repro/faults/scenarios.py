@@ -1,0 +1,206 @@
+"""Canned fault scenarios for ``python -m repro faults --scenario <name>``.
+
+Each scenario is a function of the run horizon: fault windows are placed at
+fixed *fractions* of the horizon so the same scenario name stresses a 60 ms
+smoke run and a 600 ms paper-scale run in the same proportional way.  The
+expanded :class:`~repro.faults.spec.FaultSchedule` is explicit and fully
+deterministic, so it serializes into the experiment config and the result
+cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.faults.spec import ClientPolicy, FaultKind, FaultSchedule, FaultSpec
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named (schedule, client policy) pair plus a human description."""
+
+    name: str
+    description: str
+    schedule: FaultSchedule
+    client: ClientPolicy
+
+
+def _crash_storm(horizon_ms: float) -> FaultScenario:
+    """Three transient full-server crashes spread over the run.
+
+    The crash windows are short (4% of the horizon each) but total loss:
+    every in-flight and queued request dies and must be retried by the
+    client after its deadline expires.
+    """
+    events = [
+        FaultSpec(
+            kind=FaultKind.SERVER_CRASH,
+            start_ms=horizon_ms * frac,
+            duration_ms=max(1.0, horizon_ms * 0.04),
+        )
+        for frac in (0.25, 0.5, 0.72)
+    ]
+    return FaultScenario(
+        name="crash-storm",
+        description="three transient server crashes; clients retry on timeout",
+        schedule=FaultSchedule(events=tuple(events)),
+        client=ClientPolicy(
+            timeout_ms=25.0,
+            max_retries=4,
+            backoff_base_ms=4.0,
+            retry_budget=2.0,
+        ),
+    )
+
+
+def _brownout(horizon_ms: float) -> FaultScenario:
+    """The database and cache tiers lose most of their workers mid-run.
+
+    Blocking calls queue up at the browned-out backends, inflating I/O
+    times; admission control sheds load when Primary queues back up.
+    """
+    events = [
+        FaultSpec(
+            kind=FaultKind.BACKEND_BROWNOUT,
+            start_ms=horizon_ms * 0.35,
+            duration_ms=max(1.0, horizon_ms * 0.3),
+            magnitude=0.25,
+            target_name="mongodb",
+        ),
+        FaultSpec(
+            kind=FaultKind.BACKEND_BROWNOUT,
+            start_ms=horizon_ms * 0.4,
+            duration_ms=max(1.0, horizon_ms * 0.2),
+            magnitude=0.25,
+            target_name="redis",
+        ),
+    ]
+    return FaultScenario(
+        name="brownout",
+        description="MongoDB + Redis tiers drop to 25% capacity mid-run",
+        schedule=FaultSchedule(events=tuple(events)),
+        client=ClientPolicy(
+            timeout_ms=30.0,
+            max_retries=3,
+            retry_budget=1.0,
+            admission_queue_depth=48,
+        ),
+    )
+
+
+def _packet_loss(horizon_ms: float) -> FaultScenario:
+    """Lossy, jittery network for the middle half of the run."""
+    events = [
+        FaultSpec(
+            kind=FaultKind.PACKET_LOSS,
+            start_ms=horizon_ms * 0.25,
+            duration_ms=max(1.0, horizon_ms * 0.5),
+            magnitude=0.08,
+        ),
+        FaultSpec(
+            kind=FaultKind.PACKET_DELAY,
+            start_ms=horizon_ms * 0.25,
+            duration_ms=max(1.0, horizon_ms * 0.5),
+            magnitude=200.0,  # mean extra delay, us
+        ),
+    ]
+    return FaultScenario(
+        name="packet-loss",
+        description="8% packet loss + 200us mean extra delay, middle half",
+        schedule=FaultSchedule(events=tuple(events)),
+        client=ClientPolicy(
+            timeout_ms=20.0,
+            max_retries=4,
+            backoff_base_ms=2.0,
+            retry_budget=1.0,
+            hedge_ms=15.0,
+        ),
+    )
+
+
+def _slow_cores(horizon_ms: float) -> FaultScenario:
+    """Thermal throttling: every Primary core runs 3x slower for the
+    middle third, and two cores additionally stall outright."""
+    third = max(1.0, horizon_ms / 3.0)
+    events = [
+        FaultSpec(
+            kind=FaultKind.CORE_SLOWDOWN,
+            start_ms=horizon_ms / 3.0,
+            duration_ms=third,
+            magnitude=3.0,
+        ),
+        FaultSpec(
+            kind=FaultKind.CORE_STALL,
+            start_ms=horizon_ms / 3.0,
+            duration_ms=third,
+            target=0,
+        ),
+        FaultSpec(
+            kind=FaultKind.CORE_STALL,
+            start_ms=horizon_ms / 3.0,
+            duration_ms=third,
+            target=5,
+        ),
+    ]
+    return FaultScenario(
+        name="slow-cores",
+        description="3x core slowdown for the middle third + two stalled cores",
+        schedule=FaultSchedule(events=tuple(events)),
+        client=ClientPolicy(timeout_ms=40.0, max_retries=2, retry_budget=0.5),
+    )
+
+
+def _rq_degrade(horizon_ms: float) -> FaultScenario:
+    """Harvest-controller degradation: 75% of each Primary subqueue's RQ
+    chunks fail for the middle half, forcing arrivals through the
+    In-memory Overflow Subqueue (hardware systems; software systems see
+    only the accompanying packet delay)."""
+    events = [
+        FaultSpec(
+            kind=FaultKind.RQ_CHUNK_FAIL,
+            start_ms=horizon_ms * 0.25,
+            duration_ms=max(1.0, horizon_ms * 0.5),
+            magnitude=0.75,
+        ),
+        FaultSpec(
+            kind=FaultKind.PACKET_DELAY,
+            start_ms=horizon_ms * 0.25,
+            duration_ms=max(1.0, horizon_ms * 0.5),
+            magnitude=50.0,
+        ),
+    ]
+    return FaultScenario(
+        name="rq-degrade",
+        description="75% of RQ chunks fail mid-run (in-memory overflow path)",
+        schedule=FaultSchedule(events=tuple(events)),
+        client=ClientPolicy(timeout_ms=30.0, max_retries=2, retry_budget=0.5),
+    )
+
+
+SCENARIOS: Dict[str, Callable[[float], FaultScenario]] = {
+    "crash-storm": _crash_storm,
+    "brownout": _brownout,
+    "packet-loss": _packet_loss,
+    "slow-cores": _slow_cores,
+    "rq-degrade": _rq_degrade,
+}
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str, horizon_ms: float) -> FaultScenario:
+    """Expand a canned scenario for a given horizon.
+
+    Raises KeyError with the list of known names on an unknown scenario.
+    """
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        )
+    if horizon_ms <= 0:
+        raise ValueError(f"horizon_ms must be positive, got {horizon_ms}")
+    return builder(horizon_ms)

@@ -1,0 +1,220 @@
+"""Serializable fault-injection and client-resilience descriptions.
+
+Everything here is *configuration*: frozen dataclasses and enums that ride
+inside :class:`~repro.config.SimulationConfig` (fields ``faults`` and
+``client``), flow through :mod:`repro.core.serialize` unchanged, and are
+therefore hashed into the :mod:`repro.parallel` result-cache key — changing
+any fault parameter is automatically a cache miss, while an unchanged
+schedule hits.
+
+Determinism contract
+--------------------
+
+A :class:`FaultSchedule` is fully explicit: every event's start, duration,
+target, and magnitude are fixed numbers.  All *randomized* fault behaviour
+(per-packet loss coin flips, per-packet delay jitter, client retry backoff
+jitter) is drawn at injection time from dedicated
+:class:`~repro.sim.rng.RngRegistry` streams (``faults/net``, ``client``),
+so a fault-injected run is a pure function of (config, seed): parallel
+sweeps stay bit-identical to serial runs, and two systems under comparison
+see the identical fault timeline.
+
+This module deliberately imports nothing from :mod:`repro.config` so the
+config module can embed these types without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class FaultKind(Enum):
+    """The injectable fault classes (one injector each)."""
+
+    #: Target core(s) execute ``magnitude`` x slower (thermal throttle,
+    #: co-located interference, firmware-induced frequency drop).
+    CORE_SLOWDOWN = "core-slowdown"
+    #: Target core(s) stop picking up new work for the window (SMI storm,
+    #: RAS scrub); in-flight segments finish, then the core parks.
+    CORE_STALL = "core-stall"
+    #: The whole server goes dark: in-flight requests and queue contents
+    #: are lost, arrivals are dropped, batch progress on the server dies.
+    #: The server restarts clean when the window ends.
+    SERVER_CRASH = "server-crash"
+    #: Arriving request packets are dropped with probability ``magnitude``.
+    PACKET_LOSS = "packet-loss"
+    #: Arriving request packets see extra exponential delay with mean
+    #: ``magnitude`` microseconds (NIC queue buildup, PFC storms).
+    PACKET_DELAY = "packet-delay"
+    #: A backend tier (``target_name``: memcached/redis/mongodb, or "" for
+    #: all) loses workers: capacity scales to ``magnitude`` of nominal.
+    BACKEND_BROWNOUT = "backend-brownout"
+    #: Harvest-controller degradation: a ``magnitude`` fraction of each
+    #: Primary subqueue's RQ chunks fail, forcing new arrivals through the
+    #: In-memory Overflow Subqueue path (hardware systems only; a no-op on
+    #: software-scheduled systems, which have no RQ).
+    RQ_CHUNK_FAIL = "rq-chunk-fail"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault event: what breaks, when, for how long, and how badly.
+
+    ``magnitude`` is kind-specific (see :class:`FaultKind`); ``target`` is a
+    core id for core faults (-1 = every Primary-bound core) and unused
+    otherwise; ``target_name`` names a backend tier for brownouts.
+    """
+
+    kind: FaultKind
+    start_ms: float
+    duration_ms: float
+    magnitude: float = 1.0
+    target: int = -1
+    target_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise TypeError(f"kind must be a FaultKind, got {self.kind!r}")
+        if self.start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {self.start_ms}")
+        if self.duration_ms <= 0:
+            raise ValueError(
+                f"duration_ms must be positive, got {self.duration_ms}"
+            )
+        if self.kind is FaultKind.PACKET_LOSS and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError(
+                f"packet-loss magnitude is a drop probability in (0,1], "
+                f"got {self.magnitude}"
+            )
+        if self.kind is FaultKind.CORE_SLOWDOWN and self.magnitude < 1.0:
+            raise ValueError(
+                f"core-slowdown magnitude is a >=1 multiplier, got {self.magnitude}"
+            )
+        if self.kind in (FaultKind.BACKEND_BROWNOUT, FaultKind.RQ_CHUNK_FAIL):
+            if not 0.0 < self.magnitude <= 1.0:
+                raise ValueError(
+                    f"{self.kind.value} magnitude is a fraction in (0,1], "
+                    f"got {self.magnitude}"
+                )
+        if self.magnitude <= 0:
+            raise ValueError(f"magnitude must be positive, got {self.magnitude}")
+
+    @property
+    def start_ns(self) -> int:
+        return int(self.start_ms * 1e6)
+
+    @property
+    def end_ns(self) -> int:
+        return int((self.start_ms + self.duration_ms) * 1e6)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, fully explicit list of fault events for one run.
+
+    The schedule is part of the experiment config: it serializes with
+    :mod:`repro.core.serialize` and participates in the result-cache key.
+    """
+
+    events: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for ev in events:
+            if not isinstance(ev, FaultSpec):
+                raise TypeError(f"events must be FaultSpec, got {ev!r}")
+        object.__setattr__(self, "events", events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def describe(self) -> str:
+        """One line per event, for CLI banners and logs."""
+        lines = []
+        for i, ev in enumerate(self.events):
+            extra = ""
+            if ev.target >= 0:
+                extra += f" target=core{ev.target}"
+            if ev.target_name:
+                extra += f" target={ev.target_name}"
+            lines.append(
+                f"  [{i}] {ev.kind.value:16s} t={ev.start_ms:.1f}ms "
+                f"+{ev.duration_ms:.1f}ms magnitude={ev.magnitude:g}{extra}"
+            )
+        return "\n".join(lines) if lines else "  (no faults)"
+
+
+@dataclass(frozen=True)
+class ClientPolicy:
+    """Client-side resilience knobs: the machinery real microservice
+    clients run with (deadlines, capped exponential backoff with jitter, a
+    retry budget, optional hedging, and server-side admission control).
+
+    ``timeout_ms``  — per-attempt deadline; an attempt that has not
+                      completed by then is abandoned and may be retried.
+    ``slo_ms``      — end-to-end target a *logical* request must meet to
+                      count toward goodput (defaults to ``timeout_ms``).
+    ``max_retries`` — retries per logical request (attempts = retries+1).
+    ``backoff_*``   — capped exponential backoff between attempts;
+                      ``backoff_jitter`` is the ± fraction of randomization
+                      (drawn from the deterministic ``client`` RNG stream).
+    ``retry_budget``— global cap: total retries may not exceed this
+                      fraction of logical requests issued so far (prevents
+                      retry storms from amplifying overload).
+    ``hedge_ms``    — if set, a second attempt is issued this long after
+                      the first (per logical request, once); first
+                      completion wins and the loser is cancelled.
+    ``admission_queue_depth`` — if > 0, a VM whose queue already holds this
+                      many pending requests *sheds* new arrivals instead of
+                      queueing them (fast-failing the client, which backs
+                      off and retries) so overload degrades gracefully
+                      instead of collapsing into unbounded queues.
+    """
+
+    timeout_ms: float = 25.0
+    slo_ms: Optional[float] = None
+    max_retries: int = 3
+    backoff_base_ms: float = 2.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_ms: float = 50.0
+    backoff_jitter: float = 0.5
+    retry_budget: float = 0.5
+    hedge_ms: Optional[float] = None
+    admission_queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be positive, got {self.timeout_ms}")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_ms <= 0 or self.backoff_cap_ms <= 0:
+            raise ValueError("backoff base and cap must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0,1), got {self.backoff_jitter}"
+            )
+        if self.retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {self.retry_budget}")
+        if self.hedge_ms is not None and self.hedge_ms <= 0:
+            raise ValueError(f"hedge_ms must be positive, got {self.hedge_ms}")
+        if self.admission_queue_depth < 0:
+            raise ValueError(
+                f"admission_queue_depth must be >= 0, got "
+                f"{self.admission_queue_depth}"
+            )
+
+    @property
+    def effective_slo_ms(self) -> float:
+        return self.slo_ms if self.slo_ms is not None else self.timeout_ms
+
+    @property
+    def timeout_ns(self) -> int:
+        return int(self.timeout_ms * 1e6)

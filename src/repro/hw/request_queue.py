@@ -123,6 +123,30 @@ class Subqueue:
         self.entries.remove(entry)
         self._promote_overflow()
 
+    def discard(self, request: object) -> bool:
+        """Remove a request in any state (abandoned attempt: timeout, shed,
+        hedge loser, crash kill). Returns False if it is not queued here."""
+        for entry in self.entries:
+            if entry.request is request:
+                self.entries.remove(entry)
+                self._promote_overflow()
+                return True
+        try:
+            self.overflow.remove(request)
+            return True
+        except ValueError:
+            return False
+
+    def drain(self) -> List[object]:
+        """Remove and return every queued request (server crash). The
+        hardware loses all RQ state; overflow pointers die with the kernel
+        structures that tracked them."""
+        drained = [entry.request for entry in self.entries]
+        drained.extend(self.overflow)
+        self.entries.clear()
+        self.overflow.clear()
+        return drained
+
     # ------------------------------------------------------------------
     # Chunk management (RQ-Map operations)
     # ------------------------------------------------------------------

@@ -27,21 +27,36 @@ class EventHandle:
     Cancellation is lazy: the event stays in the heap but is skipped when it
     reaches the front. This is O(1) and is the standard approach for
     calendar queues with rare cancellations.
+
+    Handles double as cancellable timers (deadline timers, fault windows):
+    :attr:`active` says whether the event can still fire, which lets
+    bookkeeping code drop stale handles without tracking fire state itself.
+    Cancelling from *within* another event at the same timestamp is safe —
+    the cancelled event is skipped even though it is already in the heap's
+    front region.
     """
 
-    __slots__ = ("time", "cancelled", "_fn", "_args")
+    __slots__ = ("time", "cancelled", "fired", "_fn", "_args")
 
     def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
         self.time = time
         self.cancelled = False
+        self.fired = False
         self._fn = fn
         self._args = args
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call multiple times."""
+        """Prevent the event from firing. Safe to call multiple times,
+        including after the event already fired (then a no-op)."""
         self.cancelled = True
 
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not fired, not cancelled)."""
+        return not self.cancelled and not self.fired
+
     def fire(self) -> None:
+        self.fired = True
         self._fn(*self._args)
 
 

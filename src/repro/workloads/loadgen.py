@@ -33,6 +33,11 @@ def generate_arrivals(
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
+    if load_scale <= 0:
+        raise ValueError(
+            f"load_scale must be positive, got {load_scale} "
+            f"(use a small fraction, not zero, to model light load)"
+        )
     base_rate = profile.rps_per_core * num_cores * load_scale  # req/s
     if base_rate <= 0:
         raise ValueError(f"non-positive arrival rate for {profile.name}")

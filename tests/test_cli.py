@@ -30,6 +30,56 @@ def test_cluster_command_fast(capsys):
     assert "cluster avg P99" in out
 
 
+def test_run_command_missing_config_exits_2(capsys, tmp_path):
+    missing = tmp_path / "nope.json"
+    rc = main(["run", "--config", str(missing)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "cannot read --config" in err
+
+
+def test_run_command_corrupt_config_exits_2(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{ this is not json")
+    rc = main(["run", "--config", str(bad)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "not a valid experiment config" in err
+
+
+def test_faults_list(capsys):
+    rc = main(["faults", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "crash-storm" in out
+    assert "brownout" in out
+
+
+def test_faults_unknown_scenario_exits_2(capsys):
+    rc = main(["faults", "--scenario", "meteor-strike"])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_faults_unknown_system_exits_2(capsys):
+    rc = main(["faults", "--systems", "NotASystem"])
+    assert rc == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
+def test_faults_command_fast(capsys, tmp_path):
+    out_json = tmp_path / "faults.json"
+    rc = main(["faults", "--scenario", "crash-storm", "--horizon-ms", "60",
+               "--accesses", "8", "--systems", "NoHarvest", "--no-cache",
+               "--json", str(out_json)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Degradation under faults" in out
+    assert "goodput" in out
+    assert "retry_amp" in out
+    assert out_json.exists()
+
+
 def test_unknown_system_rejected():
     parser = build_parser()
     with pytest.raises(SystemExit):

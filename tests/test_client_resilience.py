@@ -1,0 +1,115 @@
+"""Tests for the client resilience layer: deadlines, retries, retry
+budgets, hedging, and admission control."""
+
+from dataclasses import replace
+
+from repro.config import SimulationConfig
+from repro.core.experiment import run_server_raw
+from repro.core.presets import noharvest
+from repro.faults import ClientPolicy, FaultKind, FaultSchedule, FaultSpec
+
+FAST = SimulationConfig(horizon_ms=60, warmup_ms=10, accesses_per_segment=8, seed=17)
+
+#: Total packet loss for a 10 ms window: every attempt arriving inside it
+#: is dropped, so the client discovers the loss only via its deadline.
+BLACKOUT = FaultSchedule(
+    events=(
+        FaultSpec(kind=FaultKind.PACKET_LOSS, start_ms=20.0, duration_ms=10.0,
+                  magnitude=1.0),
+    )
+)
+
+
+def _run(policy, faults=BLACKOUT, system=None, **cfg_kwargs):
+    cfg = replace(FAST, faults=faults, client=policy, **cfg_kwargs)
+    return run_server_raw(system or noharvest(), cfg)
+
+
+def test_timeouts_drive_retries():
+    sim = _run(ClientPolicy(timeout_ms=5.0, max_retries=4, retry_budget=2.0))
+    client = sim.client
+    assert client.timeouts > 0
+    assert client.retries_issued > 0
+    # Retries rescued most of the blacked-out requests.
+    assert client.completed > 0
+    assert client.completed + client.failed_permanently == client.arrived
+
+
+def test_max_retries_bounds_attempts_per_logical():
+    sim = _run(ClientPolicy(timeout_ms=5.0, max_retries=1, retry_budget=10.0))
+    for lg in sim.client.logicals.values():
+        assert lg.retries_used <= 1
+        assert lg.attempts_issued <= 2  # original + 1 retry (no hedging)
+
+
+def test_zero_retry_budget_fails_fast():
+    sim = _run(ClientPolicy(timeout_ms=5.0, max_retries=4, retry_budget=0.0))
+    client = sim.client
+    assert client.retries_issued == 0
+    assert client.failed_permanently > 0
+    assert client.completed + client.failed_permanently == client.arrived
+
+
+def test_retry_budget_caps_global_retry_volume():
+    sim = _run(ClientPolicy(timeout_ms=5.0, max_retries=8, retry_budget=0.05))
+    client = sim.client
+    # Total retries never exceed the budget fraction of offered load
+    # (+1 for the integer floor applied before each retry decision).
+    assert client.retries_issued <= int(0.05 * client.arrived) + 1
+
+
+def test_admission_control_sheds_under_overload():
+    sim = _run(
+        ClientPolicy(timeout_ms=25.0, max_retries=2, retry_budget=1.0,
+                     admission_queue_depth=1),
+        faults=FaultSchedule(),
+        load_scale=3.0,
+    )
+    client = sim.client
+    assert client.shed > 0
+    assert sim.counters["admission_shed"] == client.shed
+    assert client.completed + client.failed_permanently == client.arrived
+
+
+def test_hedging_issues_second_attempt_and_dedupes():
+    sim = _run(
+        ClientPolicy(timeout_ms=50.0, max_retries=2, retry_budget=1.0,
+                     hedge_ms=0.5),
+        faults=FaultSchedule(),
+    )
+    client = sim.client
+    assert client.hedges > 0
+    # First completion wins; the losing sibling never double-counts.
+    assert client.completed <= client.arrived
+    assert client.completed + client.failed_permanently == client.arrived
+    for lg in client.logicals.values():
+        assert not lg.inflight  # every attempt resolved or cancelled
+
+
+def test_slo_can_be_tighter_than_timeout():
+    loose = _run(ClientPolicy(timeout_ms=25.0, max_retries=2, retry_budget=1.0),
+                 faults=FaultSchedule())
+    tight = _run(ClientPolicy(timeout_ms=25.0, slo_ms=0.5, max_retries=2,
+                              retry_budget=1.0),
+                 faults=FaultSchedule())
+    assert tight.client.completed == loose.client.completed
+    assert tight.client.completed_in_slo < loose.client.completed_in_slo
+    assert tight.resilience_summary()["goodput"] < \
+        loose.resilience_summary()["goodput"]
+
+
+def test_resilience_summary_is_deterministic():
+    policy = ClientPolicy(timeout_ms=5.0, max_retries=3, retry_budget=1.0)
+    a = _run(policy).resilience_summary()
+    b = _run(policy).resilience_summary()
+    assert a == b
+    assert a["retries"] > 0  # jittered backoff drew from the RNG stream
+
+
+def test_recovery_time_measured_after_fault_window():
+    sim = _run(ClientPolicy(timeout_ms=8.0, max_retries=4, retry_budget=2.0))
+    res = sim.resilience_summary()
+    # Requests in flight during the blackout resolved after it ended, so
+    # the fault has a nonzero time-to-recovery.
+    assert res["recovery_ms_max"] > 0.0
+    assert res["recovery_ms_mean"] <= res["recovery_ms_max"]

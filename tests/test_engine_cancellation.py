@@ -1,0 +1,135 @@
+"""Cancellation edge cases in the event engine.
+
+The fault subsystem leans on two guarantees that plain happy-path tests
+don't exercise: cancelling an event from *within* another event that
+fires at the same timestamp (deadline timers racing completions), and
+the lifecycle of a handle after cancellation (stale-handle bookkeeping
+via :attr:`EventHandle.active`).
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_cancel_sibling_at_same_timestamp():
+    """An event firing at t can cancel a sibling also scheduled at t.
+
+    Both events are already in the heap's front region when the first
+    fires; lazy cancellation must still suppress the second.
+    """
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        second.cancel()
+
+    sim.schedule(10, first)
+    second = sim.schedule(10, lambda: fired.append("second"))
+    third = sim.schedule(10, lambda: fired.append("third"))
+    sim.run()
+    assert fired == ["first", "third"]
+    assert second.cancelled and not second.fired and not second.active
+    assert third.fired and not third.active
+
+
+def test_self_cancel_during_fire_is_noop():
+    """cancel() on a handle that is mid-fire is a no-op, not an error."""
+    sim = Simulator()
+    fired = []
+    handles = []
+
+    def self_cancel():
+        handles[0].cancel()
+        fired.append("ran")
+
+    handles.append(sim.schedule(5, self_cancel))
+    sim.run()
+    assert fired == ["ran"]
+    assert handles[0].fired
+    assert not handles[0].active  # no longer pending either way
+
+
+def test_rescheduling_a_cancelled_handles_callback():
+    """A cancelled handle's callback can be re-scheduled as a new event;
+    the old handle stays dead and the new one fires independently."""
+    sim = Simulator()
+    fired = []
+
+    def deadline(tag):
+        fired.append(tag)
+
+    old = sim.schedule(10, deadline, "old")
+    old.cancel()
+    new = sim.schedule(20, deadline, "new")  # re-arm: fresh handle
+    assert not old.active and new.active
+    sim.run()
+    assert fired == ["new"]
+    assert new.fired and not old.fired
+    # Cancelling the spent old handle again is still safe.
+    old.cancel()
+    new.cancel()
+    assert fired == ["new"]
+
+
+def test_cancel_and_rearm_at_same_timestamp_from_within_event():
+    """The retry path of a deadline timer: an event at t cancels a timer
+    also pending at t and re-arms its callback at the same timestamp."""
+    sim = Simulator()
+    fired = []
+    box = {}
+
+    def rearm():
+        box["timer"].cancel()
+        box["timer"] = sim.schedule_at(sim.now, fired.append, "rearmed")
+
+    sim.schedule(10, rearm)
+    box["timer"] = sim.schedule(10, fired.append, "original")
+    sim.run()
+    assert fired == ["rearmed"]
+    assert box["timer"].fired
+
+
+def test_active_reflects_lifecycle():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    assert h.active  # pending
+    h.cancel()
+    assert not h.active and not h.fired  # cancelled, never ran
+    h2 = sim.schedule(5, lambda: None)
+    sim.run()
+    assert h2.fired and not h2.active  # fired
+
+
+def test_cancelled_events_do_not_count_as_fired():
+    sim = Simulator()
+    handles = [sim.schedule(i, lambda: None) for i in range(6)]
+    for h in handles[::2]:
+        h.cancel()
+    fired = sim.run()
+    assert fired == 3
+    assert sim.events_fired == 3
+
+
+def test_peek_next_time_after_in_event_cancellation():
+    """peek_next_time stays correct when the next pending event was
+    cancelled by the one that just fired."""
+    sim = Simulator()
+    later = sim.schedule(20, lambda: None)
+    sim.schedule(10, later.cancel)
+    sim.run(max_events=1)
+    assert sim.peek_next_time() is None
+
+
+def test_rearm_must_target_now_or_later():
+    """Re-arming a timer must target now or later — the engine refuses a
+    stale absolute timestamp even for a fresh handle."""
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    assert sim.now == 10
+    with pytest.raises(ValueError):
+        sim.schedule_at(9, lambda: None)
+    h = sim.schedule_at(10, lambda: None)  # now itself is fine
+    assert h.active

@@ -1,0 +1,205 @@
+"""Tests for the fault-injection subsystem: spec validation, config
+serialization, cache-key participation, and per-kind injector behaviour."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.experiment import run_server_raw
+from repro.core.presets import hardharvest_block, noharvest
+from repro.core.serialize import from_dict, to_dict
+from repro.faults import (
+    ClientPolicy,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    get_scenario,
+    scenario_names,
+)
+
+FAST = SimulationConfig(horizon_ms=60, warmup_ms=10, accesses_per_segment=8, seed=17)
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+def test_fault_spec_validates_window():
+    with pytest.raises(ValueError):
+        FaultSpec(kind=FaultKind.SERVER_CRASH, start_ms=-1.0, duration_ms=5.0)
+    with pytest.raises(ValueError):
+        FaultSpec(kind=FaultKind.SERVER_CRASH, start_ms=1.0, duration_ms=0.0)
+
+
+def test_fault_spec_kind_specific_magnitudes():
+    with pytest.raises(ValueError):  # loss probability > 1
+        FaultSpec(kind=FaultKind.PACKET_LOSS, start_ms=0, duration_ms=1,
+                  magnitude=1.5)
+    with pytest.raises(ValueError):  # slowdown must be >= 1x
+        FaultSpec(kind=FaultKind.CORE_SLOWDOWN, start_ms=0, duration_ms=1,
+                  magnitude=0.5)
+    with pytest.raises(ValueError):  # brownout fraction in (0, 1]
+        FaultSpec(kind=FaultKind.BACKEND_BROWNOUT, start_ms=0, duration_ms=1,
+                  magnitude=2.0)
+    with pytest.raises(TypeError):
+        FaultSpec(kind="server-crash", start_ms=0, duration_ms=1)
+
+
+def test_fault_spec_ns_windows():
+    spec = FaultSpec(kind=FaultKind.SERVER_CRASH, start_ms=1.5, duration_ms=2.0)
+    assert spec.start_ns == 1_500_000
+    assert spec.end_ns == 3_500_000
+
+
+def test_fault_schedule_rejects_non_specs():
+    with pytest.raises(TypeError):
+        FaultSchedule(events=("not a spec",))
+
+
+def test_fault_schedule_describe_lists_every_event():
+    sched = get_scenario("crash-storm", 100.0).schedule
+    text = sched.describe()
+    assert len(sched) == 3
+    assert text.count("server-crash") == 3
+    assert FaultSchedule().describe() == "  (no faults)"
+
+
+def test_client_policy_validation():
+    with pytest.raises(ValueError):
+        ClientPolicy(timeout_ms=0)
+    with pytest.raises(ValueError):
+        ClientPolicy(backoff_jitter=1.0)
+    with pytest.raises(ValueError):
+        ClientPolicy(backoff_multiplier=0.5)
+    with pytest.raises(ValueError):
+        ClientPolicy(hedge_ms=0.0)
+    assert ClientPolicy(timeout_ms=10.0).effective_slo_ms == 10.0
+    assert ClientPolicy(timeout_ms=10.0, slo_ms=5.0).effective_slo_ms == 5.0
+
+
+def test_scenarios_expand_for_any_horizon():
+    for name in scenario_names():
+        scenario = get_scenario(name, 60.0)
+        assert scenario.name == name
+        assert len(scenario.schedule) > 0
+        assert scenario.client.timeout_ms > 0
+    with pytest.raises(KeyError):
+        get_scenario("not-a-scenario", 60.0)
+    with pytest.raises(ValueError):
+        get_scenario("crash-storm", 0.0)
+
+
+# ----------------------------------------------------------------------
+# Serialization + cache key
+# ----------------------------------------------------------------------
+def test_fault_config_round_trips_through_serialize():
+    scenario = get_scenario("packet-loss", 60.0)
+    cfg = replace(FAST, faults=scenario.schedule, client=scenario.client)
+    assert from_dict(to_dict(cfg)) == cfg
+
+
+def test_fault_spec_changes_cache_key():
+    import tempfile
+
+    from repro.parallel import ResultCache, SweepPoint
+
+    cache = ResultCache(tempfile.mkdtemp())
+    scenario = get_scenario("crash-storm", 60.0)
+    base = replace(FAST, faults=scenario.schedule, client=scenario.client)
+
+    def key_for(simcfg):
+        point = SweepPoint(label="p", system=noharvest(), sim=simcfg)
+        return cache.key(point.payload())
+
+    assert key_for(base) == key_for(replace(base))  # unchanged -> same key
+    # Any fault parameter change is a different key (cache miss).
+    bumped = replace(
+        scenario.schedule.events[0],
+        duration_ms=scenario.schedule.events[0].duration_ms + 1.0,
+    )
+    changed = replace(
+        base,
+        faults=FaultSchedule(events=(bumped,) + scenario.schedule.events[1:]),
+    )
+    assert key_for(changed) != key_for(base)
+    # So is a client-policy change.
+    tighter = replace(base, client=replace(scenario.client, max_retries=1))
+    assert key_for(tighter) != key_for(base)
+    # And faults=None (legacy) differs from faults present.
+    assert key_for(FAST) != key_for(base)
+
+
+# ----------------------------------------------------------------------
+# Injector behaviour per kind
+# ----------------------------------------------------------------------
+def _run_scenario(name, system, **cfg_kwargs):
+    scenario = get_scenario(name, FAST.horizon_ms)
+    cfg = replace(FAST, faults=scenario.schedule, client=scenario.client,
+                  **cfg_kwargs)
+    return run_server_raw(system, cfg)
+
+
+def test_server_crash_kills_and_restarts():
+    sim = _run_scenario("crash-storm", noharvest())
+    assert sim.counters["faults_crashes"] == 3
+    assert sim.counters["faults_restarts"] == 3
+    res = sim.resilience_summary()
+    # Crashes force retries: clients worked harder than one attempt per
+    # logical request, and some requests were resolved by a retry.
+    assert res["retry_amplification"] > 1.0
+    assert res["retries"] > 0
+    assert res["completed"] + res["failed"] == res["offered"]
+
+
+def test_packet_loss_drops_and_delays():
+    sim = _run_scenario("packet-loss", noharvest())
+    assert sim.counters["faults_arrivals_dropped"] > 0
+    assert sim.counters["faults_net_delayed"] > 0
+    res = sim.resilience_summary()
+    assert res["hedges"] > 0  # the scenario hedges at 15 ms
+    assert res["completed"] + res["failed"] == res["offered"]
+
+
+def test_core_faults_slow_the_affected_window():
+    clean = run_server_raw(noharvest(), FAST)
+    sim = _run_scenario("slow-cores", noharvest())
+    assert sim.counters["faults_injected"] == 3
+    # 3x slowdown plus two stalled cores must show up in tail latency.
+    assert sim.latency_all.p99() > clean.latency_all.p99()
+
+
+def test_rq_chunk_fail_hardware_vs_software():
+    hw = _run_scenario("rq-degrade", hardharvest_block())
+    assert hw.counters["faults_rq_chunks_shed"] > 0
+    assert hw.counters["faults_rq_noop"] == 0
+    sw = _run_scenario("rq-degrade", noharvest())
+    assert sw.counters["faults_rq_noop"] > 0
+    assert sw.counters["faults_rq_chunks_shed"] == 0
+
+
+def test_brownout_completes_and_recovers():
+    sim = _run_scenario("brownout", noharvest())
+    assert sim.counters["faults_injected"] == 2
+    # Backend capacity is restored after the windows: nominal workers.
+    for svc in sim.backends.services.values():
+        assert svc.workers == svc.nominal_workers
+    res = sim.resilience_summary()
+    assert res["completed"] + res["failed"] == res["offered"]
+
+
+def test_faults_without_client_still_terminates():
+    """Injector-only config (no ClientPolicy): lost requests are counted
+    and the run still drains."""
+    scenario = get_scenario("crash-storm", FAST.horizon_ms)
+    cfg = replace(FAST, faults=scenario.schedule)  # client stays None
+    sim = run_server_raw(noharvest(), cfg)
+    assert sim.counters["faults_crashes"] == 3
+    assert sim.counters["requests_lost"] > 0
+    res = sim.resilience_summary()
+    assert res["failed"] == float(sim.counters["requests_lost"])
+
+
+def test_no_faults_leaves_legacy_path_untouched():
+    a = run_server_raw(noharvest(), FAST)
+    assert a.injector is None and a.client is None
+    assert a.resilience_summary() == {}

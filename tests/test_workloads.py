@@ -199,6 +199,13 @@ class TestLoadGeneration:
         a2 = generate_arrivals_span(np.random.default_rng(7), p, 4, 10**9, 2.0)
         assert len(a2) > 1.5 * len(a1)
 
+    def test_non_positive_load_scale_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="load_scale must be positive"):
+            generate_arrivals(rng, SERVICES[0], 4, 10, load_scale=0.0)
+        with pytest.raises(ValueError, match="load_scale must be positive"):
+            generate_arrivals(rng, SERVICES[0], 4, 10, load_scale=-1.0)
+
 
 class TestAlibabaTraces:
     def test_published_anchors(self):
