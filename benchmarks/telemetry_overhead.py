@@ -1,0 +1,110 @@
+"""Telemetry disabled-path overhead guard.
+
+The tracer hooks are compiled into the hot paths of
+:class:`~repro.cluster.server.ServerSimulation` (arrival, enqueue,
+dispatch, segment completion, lend/reclaim, batch units).  When telemetry
+is off they must cost essentially nothing: each hook is a single
+attribute load plus an ``is not None`` test.  This benchmark times the
+same simulation three ways —
+
+* ``telemetry=None`` (the pre-telemetry spelling),
+* ``TelemetryConfig(enabled=False)`` (explicit off),
+* ``TelemetryConfig(enabled=True)`` (full tracing, informational only),
+
+— takes the min over ``--repeats`` runs of each, asserts the disabled
+configurations agree within ``--tolerance`` (default 2%), and records the
+wall-clocks under ``bench_results/BENCH_telemetry_overhead.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/telemetry_overhead.py [--horizon-ms 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import replace
+
+import repro
+from repro.config import SimulationConfig, TelemetryConfig
+from repro.core import hardharvest_block, run_server
+
+
+def timed_run(system, simcfg, repeats: int) -> float:
+    """Min-of-k wall-clock for one configuration (min rejects scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_server(system, simcfg)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--horizon-ms", type=float, default=60.0)
+    parser.add_argument("--accesses", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per configuration (min is kept)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed disabled-path slowdown (fraction)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default bench_results/BENCH_telemetry_overhead.json)")
+    args = parser.parse_args(argv)
+
+    system = hardharvest_block()
+    base = SimulationConfig(
+        horizon_ms=args.horizon_ms,
+        warmup_ms=args.horizon_ms / 5,
+        accesses_per_segment=args.accesses,
+    )
+
+    none_s = timed_run(system, base, args.repeats)
+    off_s = timed_run(
+        system, replace(base, telemetry=TelemetryConfig(enabled=False)),
+        args.repeats,
+    )
+    on_s = timed_run(
+        system, replace(base, telemetry=TelemetryConfig(enabled=True)),
+        args.repeats,
+    )
+
+    disabled_ratio = off_s / none_s
+    record = {
+        "benchmark": "telemetry_overhead",
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "horizon_ms": args.horizon_ms,
+        "repeats": args.repeats,
+        "telemetry_none_s": round(none_s, 4),
+        "telemetry_off_s": round(off_s, 4),
+        "telemetry_on_s": round(on_s, 4),
+        "disabled_ratio": round(disabled_ratio, 4),
+        "enabled_ratio": round(on_s / none_s, 4),
+        "tolerance": args.tolerance,
+    }
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = args.out or os.path.join(out_dir, "BENCH_telemetry_overhead.json")
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+
+    if disabled_ratio > 1.0 + args.tolerance:
+        print(
+            f"ERROR: disabled telemetry costs {100 * (disabled_ratio - 1):.1f}% "
+            f"(> {100 * args.tolerance:.0f}% budget)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

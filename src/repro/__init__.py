@@ -23,7 +23,8 @@ Package map:
 * :mod:`repro.core`      -- presets and the experiment API.
 * :mod:`repro.faults`    -- deterministic fault injection + client retries.
 * :mod:`repro.parallel`  -- sweep fan-out and the on-disk result cache.
-* :mod:`repro.analysis`  -- Belady replay, report formatting.
+* :mod:`repro.telemetry` -- span tracer, gauge probes, Perfetto/CSV export.
+* :mod:`repro.analysis`  -- Belady replay, critical paths, report formatting.
 """
 
 from repro.config import (
@@ -36,6 +37,7 @@ from repro.config import (
     SimulationConfig,
     SystemConfig,
     SystemKind,
+    TelemetryConfig,
 )
 from repro.core import (
     ClusterResult,
@@ -64,7 +66,9 @@ from repro.faults import (
 # 1.1.0: ServerResult grew the ``resilience`` field and SimulationConfig
 # the ``faults``/``client`` fields; the bump invalidates pre-fault cache
 # entries so cached and recomputed results stay bit-identical.
-__version__ = "1.1.0"
+# 1.2.0: SimulationConfig grew the ``telemetry`` field (serialized, hence
+# part of every cache key); the bump invalidates pre-telemetry entries.
+__version__ = "1.2.0"
 
 from repro.parallel import (  # noqa: E402 - needs __version__ for cache keys
     ResultCache,
@@ -84,6 +88,7 @@ __all__ = [
     "SystemKind",
     "SystemConfig",
     "SimulationConfig",
+    "TelemetryConfig",
     "ClusterConfig",
     "HarvestTrigger",
     "FlushScope",

@@ -11,6 +11,9 @@ Commands
                the degradation profile (goodput, retry amplification, SLO
                violations, time-to-recovery) per system.
 ``storage``  — print the Section 6.8 hardware cost accounting.
+``trace``    — run one system with telemetry enabled and export a
+               Perfetto trace, a gauge time-series CSV, and the
+               critical-path report (:mod:`repro.telemetry`).
 
 Examples::
 
@@ -21,6 +24,7 @@ Examples::
     python -m repro faults --scenario crash-storm --workers 2
     python -m repro faults --list
     python -m repro storage
+    python -m repro trace --system HardHarvest-Block --out traces/
 """
 
 from __future__ import annotations
@@ -91,7 +95,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         system = build_system(kind)
         name = args.system
     if args.dump_config:
-        with open(args.dump_config, "w") as fh:
+        from repro.core.ioutil import atomic_open
+
+        with atomic_open(args.dump_config) as fh:
             fh.write(dumps(system, simcfg))
         print(f"wrote experiment config to {args.dump_config}")
         return 0
@@ -278,6 +284,58 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one system with telemetry on; export trace artifacts."""
+    import os
+
+    from repro.analysis.critical_path import critical_path_report
+    from repro.config import TelemetryConfig
+    from repro.core.experiment import run_server_raw
+    from repro.core.ioutil import atomic_open
+    from repro.telemetry.export import write_perfetto_json, write_timeseries_csv
+
+    kind = next((k for k in SystemKind if k.value == args.system), None)
+    if kind is None:
+        print(f"unknown system {args.system!r}; choose from {SYSTEM_NAMES}",
+              file=sys.stderr)
+        return 2
+    simcfg = replace(
+        _sim_config(args),
+        telemetry=TelemetryConfig(
+            enabled=True,
+            max_events=args.max_events,
+            probe_interval_us=args.probe_interval_us,
+        ),
+    )
+    sim = run_server_raw(build_system(kind), simcfg)
+
+    vm_names = {vm.vm_id: vm.name for vm in sim.primary_vms}
+    for hvm in sim.harvest_vms:
+        vm_names[hvm.vm_id] = hvm.name
+    events = sim.tracer.events()
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.json")
+    csv_path = os.path.join(args.out, "timeseries.csv")
+    report_path = os.path.join(args.out, "critical_path.txt")
+    n_te = write_perfetto_json(trace_path, events, vm_names, len(sim.cores))
+    n_rows = write_timeseries_csv(csv_path, sim.probes)
+    report = critical_path_report(
+        events, {vm.vm_id: vm.name for vm in sim.primary_vms}
+    )
+    with atomic_open(report_path) as fh:
+        fh.write(report + "\n")
+
+    print(report)
+    print(f"\n{len(events)} span event(s) "
+          f"({sim.tracer.dropped} dropped by ring eviction), "
+          f"{n_rows} probe sample(s) ({sim.probes.dropped} dropped)")
+    print(f"wrote {trace_path} ({n_te} trace events; "
+          f"load at https://ui.perfetto.dev)")
+    print(f"wrote {csv_path}")
+    print(f"wrote {report_path}")
+    return 0
+
+
 def cmd_storage(_args: argparse.Namespace) -> int:
     report = compute_storage_report(ControllerConfig(), HierarchyConfig(), 36)
     print("HardHarvest hardware cost (Section 6.8):")
@@ -363,6 +421,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_ft.add_argument("--json", default=None, help="write results JSON here")
     common(p_ft)
     p_ft.set_defaults(func=cmd_faults)
+
+    p_tr = sub.add_parser(
+        "trace", help="run with telemetry and export Perfetto/CSV artifacts"
+    )
+    p_tr.add_argument("--system", default="HardHarvest-Block",
+                      choices=SYSTEM_NAMES)
+    p_tr.add_argument("--out", default="traces",
+                      help="output directory (default traces/)")
+    p_tr.add_argument("--max-events", type=int, default=1_000_000,
+                      help="span-tracer ring-buffer capacity")
+    p_tr.add_argument("--probe-interval-us", type=float, default=50.0,
+                      help="gauge sampling cadence in simulated µs")
+    common(p_tr)
+    p_tr.set_defaults(func=cmd_trace)
 
     p_st = sub.add_parser("storage", help="Section 6.8 hardware cost")
     p_st.set_defaults(func=cmd_storage)

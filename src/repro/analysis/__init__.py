@@ -1,6 +1,11 @@
-"""Offline analysis: Belady replay and report formatting."""
+"""Offline analysis: Belady replay, critical paths, report formatting."""
 
 from repro.analysis.belady import belady_hit_rate, merge_traces, replay_policy
+from repro.analysis.critical_path import (
+    RequestPath,
+    critical_path_report,
+    segment_requests,
+)
 from repro.analysis.energy import EnergyReport, energy_per_batch_unit, estimate_energy
 from repro.analysis.plots import bar_chart, grouped_bar_chart, sparkline
 from repro.analysis.queueing import (
@@ -22,6 +27,9 @@ __all__ = [
     "belady_hit_rate",
     "replay_policy",
     "merge_traces",
+    "RequestPath",
+    "segment_requests",
+    "critical_path_report",
     "format_table",
     "format_series",
     "with_average",

@@ -1,0 +1,145 @@
+"""Critical-path breakdown: where did each request's latency go?
+
+Consumes the span tracer's event stream and re-tiles every completed
+request's lifetime into five mutually exclusive phases that **exactly**
+partition ``[arrival, completion]`` — the phase durations of a request
+sum to its measured latency to the nanosecond, by construction (each
+event closes the previous phase at its own timestamp and opens the next):
+
+``nic``
+    arrival at the NIC until the payload lands in the request queue
+    (DDIO delivery plus any injected network delay).
+``queueing``
+    enqueued (or re-readied after backend I/O) until a core starts the
+    dispatch transition — pure head-of-line/queue-depth wait.
+``dispatch``
+    the dispatch transition itself: queue access, work discovery,
+    request context switch, and any pending reassignment/flush charge
+    the core carried home from a reclaim.
+``execution``
+    compute segments on a core.
+``backend``
+    blocked on a backend call (network round trip + backend queue +
+    backend service).
+
+Unlike :class:`~repro.sim.stats.Breakdown` — whose ``queueing_ns`` folds
+reclaim wait and dispatch cost together for the paper's figures — this
+tiling is additive, which is what makes it a *critical path*: shrinking
+any component by X ns shrinks the request's latency by exactly X ns.
+
+Failed/abandoned attempts and requests whose chains were truncated by
+ring-buffer eviction are excluded (they have no complete tiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.report import format_table
+from repro.telemetry.tracer import (
+    PHASE_AFTER,
+    PHASES,
+    Event,
+    REQ_ARRIVAL,
+    REQ_COMPLETE,
+    REQ_FAIL,
+    REQ_SHED,
+)
+
+
+@dataclass
+class RequestPath:
+    """One completed request's exact latency tiling."""
+
+    req: int
+    vm: int
+    arrival_ns: int
+    completion_ns: int
+    phases: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> int:
+        return self.completion_ns - self.arrival_ns
+
+
+class _Open:
+    """Per-request accumulator while its chain is still open."""
+
+    __slots__ = ("vm", "arrival_ns", "prev_ts", "phase", "phases")
+
+    def __init__(self, vm: int, ts: int):
+        self.vm = vm
+        self.arrival_ns = ts
+        self.prev_ts = ts
+        self.phase: Optional[str] = "nic"
+        self.phases = {name: 0 for name in PHASES}
+
+
+def segment_requests(events: Iterable[Event]) -> List[RequestPath]:
+    """Tile every completed request's events into :data:`PHASES`.
+
+    A request qualifies only if its full chain is present: an
+    ``REQ_ARRIVAL`` opens it, a ``REQ_COMPLETE`` closes it, and it was
+    never failed or shed in between. Returns paths ordered by request id
+    (deterministic regardless of interleaving).
+    """
+    open_reqs: Dict[int, _Open] = {}
+    done: Dict[int, RequestPath] = {}
+    for ts, kind, req, vm, _core, _extra in events:
+        if kind == REQ_ARRIVAL:
+            open_reqs[req] = _Open(vm, ts)
+            continue
+        state = open_reqs.get(req)
+        if state is None:
+            continue  # chain head lost to eviction, or not a request event
+        if kind in (REQ_FAIL, REQ_SHED):
+            del open_reqs[req]
+            continue
+        if state.phase is not None:
+            state.phases[state.phase] += ts - state.prev_ts
+        state.prev_ts = ts
+        if kind == REQ_COMPLETE:
+            del open_reqs[req]
+            done[req] = RequestPath(
+                req, state.vm, state.arrival_ns, ts, state.phases
+            )
+        else:
+            state.phase = PHASE_AFTER.get(kind, state.phase)
+    return [done[req] for req in sorted(done)]
+
+
+def critical_path_report(
+    events: Iterable[Event], vm_names: Dict[int, str]
+) -> str:
+    """Per-service mean phase breakdown (µs), plus request counts.
+
+    One row per service (named via ``vm_names``), in vm-id order, with an
+    ``all`` row last; columns are the mean per-phase microseconds, the
+    mean total, and the completed-request count.
+    """
+    paths = segment_requests(events)
+    by_vm: Dict[int, List[RequestPath]] = {}
+    for p in paths:
+        by_vm.setdefault(p.vm, []).append(p)
+
+    def _row(group: List[RequestPath]) -> List[float]:
+        n = len(group)
+        means = [
+            sum(p.phases[name] for p in group) / n / 1000.0 for name in PHASES
+        ]
+        return means + [sum(p.total_ns for p in group) / n / 1000.0, float(n)]
+
+    rows: Dict[str, List[float]] = {}
+    for vm_id in sorted(by_vm):
+        rows[vm_names.get(vm_id, f"vm{vm_id}")] = _row(by_vm[vm_id])
+    if paths:
+        rows["all"] = _row(paths)
+    else:
+        rows["all"] = [0.0] * (len(PHASES) + 1) + [0.0]
+    return format_table(
+        "Critical path (mean per request)",
+        list(PHASES) + ["total", "requests"],
+        rows,
+        unit="us",
+    )

@@ -64,6 +64,9 @@ from repro.sim.stats import (
     UtilizationTracker,
 )
 from repro.sim.units import SEC
+from repro.telemetry import tracer as trc
+from repro.telemetry.probes import ProbeEngine
+from repro.telemetry.tracer import Tracer
 from repro.workloads.batch import BATCH_JOBS, BatchJobProfile
 from repro.workloads.alibaba import sample_instances, utilization_timeseries
 from repro.workloads.loadgen import (
@@ -205,10 +208,25 @@ class ServerSimulation:
         self.breakdowns = BreakdownRecorder()
         self.l2_primary_hits = 0
         self.l2_primary_accesses = 0
+        self.l2_batch_hits = 0
+        self.l2_batch_accesses = 0
         self.end_ns = 0
         self._target_completions = 0
         self._completions = 0
         self._finished = False
+
+        # ------------------------------------------------------------------
+        # Telemetry (off by default). When disabled, ``tracer`` stays None
+        # and every hook is a single attribute test — no per-event heap
+        # churn; when enabled, hooks only *read* state, so simulation
+        # results are bit-identical either way.
+        # ------------------------------------------------------------------
+        self.tracer: Optional[Tracer] = None
+        self.probes: Optional[ProbeEngine] = None
+        tcfg = simcfg.telemetry
+        if tcfg is not None and tcfg.enabled:
+            self.tracer = Tracer(tcfg.max_events)
+            self.probes = ProbeEngine(self, tcfg)
 
         # ------------------------------------------------------------------
         # Fault injection + client resilience (robustness experiments).
@@ -330,6 +348,8 @@ class ServerSimulation:
     # ==================================================================
     def run(self) -> None:
         """Run until all Primary requests complete (or the safety cap)."""
+        if self.probes is not None:
+            self.probes.start()
         self.agent.start()
         if self.injector is not None:
             self.injector.start()
@@ -374,6 +394,9 @@ class ServerSimulation:
     # Arrival and dispatch
     # ==================================================================
     def _arrival(self, vm: PrimaryVm, req: Request) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.sim.now, trc.REQ_ARRIVAL, req.req_id, vm.vm_id)
         if self.client is not None:
             # Arm the attempt's deadline before the network can lose it:
             # the client only learns of a drop when the deadline expires.
@@ -396,6 +419,9 @@ class ServerSimulation:
         if self.client is not None:
             # The deadline timer keeps running; its expiry drives the retry.
             req.failed = True
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.sim.now, trc.REQ_FAIL, req.req_id, vm.vm_id, -1, -1)
         else:
             self._fail_attempt(vm, req)
 
@@ -415,6 +441,9 @@ class ServerSimulation:
             # Admission control: fast-fail instead of growing the queue
             # without bound; the client backs off and retries.
             self.counters.incr("admission_shed")
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(self.sim.now, trc.REQ_SHED, req.req_id, vm.vm_id)
             self.client.on_shed(vm, req)
             return
         req.ready_since_ns = self.sim.now
@@ -434,6 +463,16 @@ class ServerSimulation:
         in_hw = vm.queue.enqueue(req)
         if not in_hw:
             self.counters.incr("queue_overflow_spills")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now,
+                trc.REQ_ENQUEUE if in_hw else trc.REQ_ENQUEUE_SPILL,
+                req.req_id,
+                vm.vm_id,
+                -1,
+                vm.queue.pending(),
+            )
         self._work_available(vm)
 
     def _work_available(self, vm: PrimaryVm) -> None:
@@ -517,6 +556,12 @@ class ServerSimulation:
         else:
             delay = self.costs.dispatch_ns(self.rng.stream("costs"))
         req.breakdown.queueing_ns += self.sim.now - req.ready_since_ns + delay
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.REQ_DISPATCH, req.req_id, vm.vm_id,
+                core.core_id, delay,
+            )
         core.run_event = self.sim.schedule(delay, self._dispatch_done, core, vm, req)
 
     def _loaned_core_ids(self, vm: PrimaryVm) -> set:
@@ -540,6 +585,12 @@ class ServerSimulation:
             delay += self.system.software_costs.rebalance_ns
         queue_wait = self.sim.now - req.ready_since_ns
         req.breakdown.queueing_ns += queue_wait + delay
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.REQ_DISPATCH, req.req_id, vm.vm_id,
+                core.core_id, delay,
+            )
         core.run_event = self.sim.schedule(delay, self._dispatch_done, core, vm, req)
 
     def _dispatch_done(self, core: Core, vm: PrimaryVm, req: Request) -> None:
@@ -561,6 +612,9 @@ class ServerSimulation:
             req.first_start_ns = self.sim.now
         core.state = BUSY
         self._enter_busy()
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.sim.now, trc.REQ_EXEC, req.req_id, vm.vm_id, core.core_id)
         self._run_segment(core, vm, req)
 
     # ==================================================================
@@ -620,6 +674,12 @@ class ServerSimulation:
                     )
                 )
             demand_ns = req.io_durations_ns[req.segments_done - 1]
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(
+                    self.sim.now, trc.REQ_BLOCK, req.req_id, vm.vm_id,
+                    core.core_id, demand_ns,
+                )
             rt = self.system.cluster.inter_server_rt_ns
             observe = getattr(self.agent, "observe_block", None)
             if observe is not None:
@@ -629,6 +689,12 @@ class ServerSimulation:
         else:
             vm.queue.complete(req)
             req.completion_ns = self.sim.now
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(
+                    self.sim.now, trc.REQ_COMPLETE, req.req_id, vm.vm_id,
+                    core.core_id, vm.queue.pending(),
+                )
             if self.client is not None:
                 # The client dedupes hedges/retries and supplies the
                 # logical (first-arrival to now) latency.
@@ -667,6 +733,9 @@ class ServerSimulation:
             return  # abandoned while blocked; its entry is already gone
         vm.queue.mark_ready(req)
         req.ready_since_ns = self.sim.now
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.sim.now, trc.REQ_READY, req.req_id, vm.vm_id)
         self._work_available(vm)
 
     def _core_released(self, core: Core, cause: str) -> None:
@@ -763,6 +832,12 @@ class ServerSimulation:
         core.on_loan = True
         core.loan_start_ns = self.sim.now
         self.counters.incr("lends")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.CORE_LEND, -1, core.owner_vm_id,
+                core.core_id, cost.critical_ns,
+            )
         if self.controller is not None:
             self.controller.qm_for(owner.vm_id).lend_core(core.core_id)
         core.run_event = self.sim.schedule(
@@ -790,6 +865,12 @@ class ServerSimulation:
         flushed = flush()
         self.counters.incr("lend_flushed_entries", flushed)
         target = self._pick_harvest_vm()
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.CORE_LEND_DONE, -1, target.vm_id,
+                core.core_id, flushed,
+            )
         core.running_vm_id = target.vm_id
         self._load_vm_state(core, target.vm_id)
         owner = self.vms_by_id[core.owner_vm_id]
@@ -813,6 +894,8 @@ class ServerSimulation:
         n = max(8, self.simcfg.accesses_per_segment // 2)
         mem_rng = self.rng.stream("batchmem")
         accesses = hvm.memory.sample(mem_rng, n)
+        l2 = core.memory.l2.array
+        h0, a0 = l2.hits, l2.accesses
         total_ns = 0
         now = self.sim.now
         is_primary_view = not core.on_loan  # own cores see full structures
@@ -820,6 +903,8 @@ class ServerSimulation:
             total_ns += core.memory.access(
                 addr, shared, instr, hvm.llc, is_primary_view, now, write
             )
+        self.l2_batch_hits += l2.hits - h0
+        self.l2_batch_accesses += l2.accesses - a0
         l_avg = total_ns / n
         cpu_ns = int(job.unit_us * 1000)
         refs = job.mem_refs_per_us * job.unit_us
@@ -862,14 +947,24 @@ class ServerSimulation:
         core.batch_unit_duration_ns = duration
         core.batch_unit_remaining_tag = unit.remaining_frac
         self._enter_busy()
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.BATCH_START, -1, hvm.vm_id,
+                core.core_id, duration,
+            )
         core.batch_event = self.sim.schedule(
             duration, self._batch_unit_done, core, unit.remaining_frac
         )
 
     def _batch_unit_done(self, core: Core, frac: float) -> None:
-        self._harvest_vm_of(core).units_completed += frac
+        hvm = self._harvest_vm_of(core)
+        hvm.units_completed += frac
         core.batch_event = None
         self._leave_busy()
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.sim.now, trc.BATCH_DONE, -1, hvm.vm_id, core.core_id)
         if self.injector is not None and self.injector.is_stalled(core):
             core.state = STALLED
             core.idle_since = self.sim.now
@@ -928,10 +1023,22 @@ class ServerSimulation:
             else:
                 hvm.return_partial(started_frac, False, int(elapsed))
             self._leave_busy()
+            tr = self.tracer
+            if tr is not None:
+                tr.emit(
+                    self.sim.now, trc.BATCH_PREEMPT, -1, hvm.vm_id,
+                    core.core_id, int(elapsed),
+                )
         core.state = SWITCHING
         core.reclaim_in_flight = True
         self.counters.incr("reclaims")
         cost = self.costs.reclaim_cost(core.memory, self.rng.stream("costs"))
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.CORE_RECLAIM, -1, vm.vm_id,
+                core.core_id, cost.critical_ns,
+            )
         core.pending_reassign_ns = cost.reassign_ns
         core.pending_flush_ns = cost.flush_ns
         core.run_event = self.sim.schedule(
@@ -942,6 +1049,12 @@ class ServerSimulation:
         core.run_event = None
         flushed = flush()
         self.counters.incr("reclaim_flushed_entries", flushed)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.CORE_RECLAIM_DONE, -1, core.owner_vm_id,
+                core.core_id, flushed,
+            )
         core.on_loan = False
         core.reclaim_in_flight = False
         core.running_vm_id = core.owner_vm_id
@@ -988,7 +1101,13 @@ class ServerSimulation:
             except KeyError:
                 pass
             req.context_slot = None
-        vm.queue.discard(req)
+        discarded = vm.queue.discard(req)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.sim.now, trc.REQ_FAIL, req.req_id, vm.vm_id, -1,
+                vm.queue.pending() if discarded else -1,
+            )
         if self.client is None:
             self.counters.incr("requests_lost")
             self._logical_resolved()
@@ -998,6 +1117,9 @@ class ServerSimulation:
         entry, and batch unit on this server dies; cores reset clean."""
         self.counters.incr("faults_crashes")
         now = self.sim.now
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(now, trc.SERVER_CRASH)
         for core in self.cores:
             if core.run_event is not None:
                 core.run_event.cancel()
@@ -1053,6 +1175,9 @@ class ServerSimulation:
         """SERVER_CRASH window closes: the server restarts clean and
         resumes serving (new arrivals + client retries) and batching."""
         self.counters.incr("faults_restarts")
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(self.sim.now, trc.SERVER_RESTART)
         for hvm in self.harvest_vms:
             if hvm.active:
                 for core in hvm.cores:
@@ -1101,3 +1226,8 @@ class ServerSimulation:
         if self.l2_primary_accesses == 0:
             return 0.0
         return self.l2_primary_hits / self.l2_primary_accesses
+
+    def l2_batch_hit_rate(self) -> float:
+        if self.l2_batch_accesses == 0:
+            return 0.0
+        return self.l2_batch_hits / self.l2_batch_accesses

@@ -130,6 +130,9 @@ class SoftwareQueue:
     def pending(self) -> int:
         return self._sq.total_pending()
 
+    def occupancy(self):
+        return self._sq.occupancy()
+
 
 class SharedQueueAdapter:
     """Adapter giving a HardHarvest QueueManager the core-aware interface.
@@ -182,6 +185,9 @@ class SharedQueueAdapter:
 
     def pending(self) -> int:
         return self.qm.pending()
+
+    def occupancy(self):
+        return self.qm.subqueue.occupancy()
 
 
 class PrimaryVm:

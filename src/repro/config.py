@@ -27,6 +27,7 @@ from repro.faults.spec import (  # noqa: F401 - registry re-export
     FaultSpec,
 )
 from repro.sim.units import KB, MB, MS, US
+from repro.telemetry.spec import TelemetryConfig  # noqa: F401 - registry re-export
 
 
 # ---------------------------------------------------------------------------
@@ -472,3 +473,9 @@ class SimulationConfig:
     #: Client-side resilience policy (deadlines, retries, backoff, hedging,
     #: admission control). None = legacy open-loop clients with no timeouts.
     client: Optional[ClientPolicy] = None
+    #: Observability knobs (span tracer + time-series probes). None (or
+    #: ``enabled=False``) allocates nothing. Serialized with the config,
+    #: hence part of the result-cache key like ``faults``/``client`` —
+    #: even though telemetry never changes simulation results, a cached
+    #: result carries no trace artifacts.
+    telemetry: Optional[TelemetryConfig] = None

@@ -75,16 +75,40 @@ def run_server_raw(
     server_index: int = 0,
 ) -> ServerSimulation:
     """Like :func:`run_server` but returns the live simulation object
-    (for experiments that inspect caches, traces, or queues)."""
+    (for experiments that inspect caches, traces, or queues).
+
+    With ``simcfg.telemetry`` enabled, the returned simulation exposes the
+    span tracer as ``.tracer`` (ring buffer of lifecycle events) and the
+    gauge series as ``.probes``; both are ``None`` when telemetry is off.
+    """
     sim = ServerSimulation(system, simcfg or SimulationConfig(), batch_job, server_index)
     sim.run()
     return sim
 
 
-def _run_one_server(args) -> ServerResult:
-    """Module-level worker so cluster runs can use process pools."""
-    system, simcfg, job, index = args
-    return run_server(system, simcfg, job, server_index=index)
+def _cluster_points(
+    system: SystemConfig,
+    simcfg: SimulationConfig,
+    jobs: Sequence[BatchJobProfile],
+):
+    """One :class:`~repro.parallel.sweep.SweepPoint` per simulated server.
+
+    The single source of truth for the cluster fan-out: the serial loop,
+    the process pool, and the result cache all run exactly these points,
+    which is what keeps their results bit-identical.
+    """
+    from repro.parallel.sweep import SweepPoint
+
+    return [
+        SweepPoint(
+            label=f"server={i}",
+            system=system,
+            sim=simcfg,
+            batch_job=jobs[i % len(jobs)],
+            server_index=i,
+        )
+        for i in range(simcfg.servers_to_simulate)
+    ]
 
 
 def run_cluster(
@@ -103,37 +127,28 @@ def run_cluster(
     process pool (exactly as the authors parallelized their SST runs)
     without changing any result.  ``workers=N`` routes through
     :func:`repro.parallel.run_sweep` (optionally with a ``cache``);
-    ``parallel=True`` is the legacy spelling of ``workers=8``.
+    ``parallel=True`` is the legacy spelling of ``workers=8`` (the pool
+    never exceeds the number of servers).
     """
     simcfg = simcfg or SimulationConfig()
     jobs = list(batch_jobs or BATCH_JOBS)
+    points = _cluster_points(system, simcfg, jobs)
     if parallel and workers is None:
-        workers = min(8, simcfg.servers_to_simulate)
+        workers = 8
     if workers is not None or cache is not None:
         from repro.parallel.runner import run_sweep
-        from repro.parallel.sweep import SweepPoint
 
-        points = [
-            SweepPoint(
-                label=f"server={i}",
-                system=system,
-                sim=simcfg,
-                batch_job=jobs[i % len(jobs)],
-                server_index=i,
-            )
-            for i in range(simcfg.servers_to_simulate)
-        ]
         outcome = run_sweep(points, workers=workers or 1, cache=cache)
         return ClusterResult(
             system=system.name, servers=list(outcome.results.values())
         )
-    work = [
-        (system, simcfg, jobs[i % len(jobs)], i)
-        for i in range(simcfg.servers_to_simulate)
-    ]
-    result = ClusterResult(system=system.name)
-    result.servers.extend(_run_one_server(w) for w in work)
-    return result
+    return ClusterResult(
+        system=system.name,
+        servers=[
+            run_server(p.system, p.sim, p.batch_job, server_index=p.server_index)
+            for p in points
+        ],
+    )
 
 
 def run_systems(

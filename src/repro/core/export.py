@@ -23,6 +23,7 @@ import json
 from typing import Dict, Iterable, List
 
 from repro.cluster.server import ServerSimulation
+from repro.core.ioutil import atomic_open
 from repro.core.metrics import ServerResult
 from repro.sim.stats import Breakdown
 
@@ -59,7 +60,7 @@ def result_to_json(result: ServerResult) -> Dict:
 
 
 def write_json(path: str, results: Iterable[ServerResult]) -> None:
-    with open(path, "w") as fh:
+    with atomic_open(path) as fh:
         json.dump([result_to_json(r) for r in results], fh, indent=2)
 
 
@@ -84,7 +85,7 @@ def write_latency_csv(path: str, results: Iterable[ServerResult]) -> None:
     rows = latency_rows(results)
     if not rows:
         raise ValueError("no results to export")
-    with open(path, "w", newline="") as fh:
+    with atomic_open(path, newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
         writer.writeheader()
         writer.writerows(rows)
@@ -145,7 +146,7 @@ def server_result_from_dict(data: Dict) -> ServerResult:
 def write_sweep_json(path: str, results: Dict[str, ServerResult]) -> None:
     """Write sweep results keyed by point label (lossless encoding)."""
     payload = {label: server_result_to_dict(r) for label, r in results.items()}
-    with open(path, "w") as fh:
+    with atomic_open(path) as fh:
         json.dump(payload, fh, indent=2)
 
 
@@ -153,7 +154,7 @@ def write_sweep_csv(path: str, results: Dict[str, ServerResult]) -> None:
     """One flat row per (point label, service) with the headline metrics."""
     if not results:
         raise ValueError("no results to export")
-    with open(path, "w", newline="") as fh:
+    with atomic_open(path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(
             ["label", "system", "batch_job", "service", "p50_ms", "p99_ms",
@@ -176,7 +177,7 @@ def write_samples_csv(path: str, sim: ServerSimulation) -> int:
     keep the simulation object.
     """
     total = 0
-    with open(path, "w", newline="") as fh:
+    with atomic_open(path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["service", "latency_ns"])
         for name, recorder in sim.latency.items():

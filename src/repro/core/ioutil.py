@@ -1,0 +1,38 @@
+"""Atomic file writes for result artifacts.
+
+Same discipline as :mod:`repro.parallel.cache`: write to a temp file in
+the destination directory, then ``os.replace`` into place. An interrupted
+run (ctrl-C, OOM-kill, crashed CI worker) therefore never leaves a
+truncated JSON/CSV artifact behind — the destination either has the old
+content or the complete new content.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator, Optional
+
+
+@contextlib.contextmanager
+def atomic_open(path: str, newline: Optional[str] = None) -> Iterator[IO[str]]:
+    """Open ``path`` for atomic text writing.
+
+    Yields a file handle backed by a temp file next to ``path``; on clean
+    exit the temp file replaces ``path`` atomically, on any exception it
+    is removed and ``path`` is untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", newline=newline) as fh:
+            yield fh
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise

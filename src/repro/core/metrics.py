@@ -48,10 +48,18 @@ class ClusterResult:
     system: str
     servers: List[ServerResult] = field(default_factory=list)
 
+    def _require_servers(self) -> None:
+        if not self.servers:
+            raise ValueError(
+                f"cannot aggregate ClusterResult({self.system!r}) with no servers"
+            )
+
     def avg_p99_ms(self) -> float:
+        self._require_servers()
         return sum(s.avg_p99_ms() for s in self.servers) / len(self.servers)
 
     def avg_busy_cores(self) -> float:
+        self._require_servers()
         return sum(s.avg_busy_cores for s in self.servers) / len(self.servers)
 
     def throughput_by_job(self) -> Dict[str, float]:
@@ -59,6 +67,7 @@ class ClusterResult:
 
     def p99_by_service(self) -> Dict[str, float]:
         """Mean per-service P99 across servers."""
+        self._require_servers()
         services = self.servers[0].p99_ms.keys()
         return {
             svc: sum(s.p99_ms[svc] for s in self.servers) / len(self.servers)

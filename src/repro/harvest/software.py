@@ -99,6 +99,11 @@ class SmartHarvestAgent(HarvestAgent):
         engine = self.engine
         self.ticks += 1
         now = engine.sim.now
+        tr = getattr(engine, "tracer", None)
+        if tr is not None:
+            from repro.telemetry.tracer import AGENT_TICK
+
+            tr.emit(now, AGENT_TICK, extra=self.lends_initiated)
         alpha = self.config.ewma_alpha
         for vm in engine.primary_vms:
             # Demand right now: running requests plus queued ready ones.

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 
 class RequestStatus(Enum):
@@ -190,6 +190,12 @@ class Subqueue:
     def total_pending(self) -> int:
         """Ready + blocked + running entries plus overflow length."""
         return len(self.entries) + len(self.overflow)
+
+    def occupancy(self) -> Tuple[int, int]:
+        """``(in-hardware entries, overflow entries)`` — the telemetry
+        probes' gauge pair; splits :meth:`total_pending` so a trace shows
+        whether pressure is in the RQ chunks or already spilling."""
+        return len(self.entries), len(self.overflow)
 
 
 class RequestQueue:

@@ -70,6 +70,13 @@ class Simulator:
         self._events_fired = 0
         self._running = False
         self._stop_requested = False
+        # Observation-only probe callbacks (telemetry). They live in a side
+        # heap with their own sequence counter, so scheduling a probe never
+        # touches ``_seq`` — the tie-breaking order, heap contents, and
+        # ``pending_events`` of the *simulation* are bit-identical whether
+        # probes exist or not.
+        self._probes: List[Tuple[int, int, Callable[[], Any]]] = []
+        self._probe_seq = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -92,6 +99,36 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
         return handle
+
+    def schedule_probe(self, time: int, fn: Callable[[], Any]) -> None:
+        """Schedule an observation-only callback at absolute time ``time``.
+
+        Probes are the telemetry hook point: they fire in timestamp order
+        interleaved with simulation events, but they are invisible to the
+        simulation — they do not count toward ``max_events`` or
+        :attr:`pending_events`, and they never consume a ``_seq`` slot, so
+        tie-breaking among real events is unaffected. The contract is that
+        a probe only *reads* simulator/component state (and may schedule
+        the next probe); a probe that mutates state voids the
+        telemetry-off/on bit-identity guarantee.
+
+        A probe pending after the last simulation event simply never fires
+        (the run is over); this is what bounds self-rescheduling probes.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule a probe in the past: t={time} < now={self.now}"
+            )
+        self._probe_seq += 1
+        heapq.heappush(self._probes, (time, self._probe_seq, fn))
+
+    def _fire_probes_until(self, time: int) -> None:
+        """Fire every pending probe with timestamp <= ``time``."""
+        while self._probes and self._probes[0][0] <= time:
+            ptime, _pseq, pfn = heapq.heappop(self._probes)
+            if ptime > self.now:
+                self.now = ptime
+            pfn()
 
     # ------------------------------------------------------------------
     # Execution
@@ -117,6 +154,8 @@ class Simulator:
                 heapq.heappop(self._heap)
                 if handle.cancelled:
                     continue
+                if self._probes:
+                    self._fire_probes_until(time)
                 self.now = time
                 handle.fire()
                 fired += 1
@@ -124,6 +163,8 @@ class Simulator:
                 if max_events is not None and fired >= max_events:
                     break
             if until is not None and self.now < until and not self._stop_requested:
+                if self._probes:
+                    self._fire_probes_until(until)
                 self.now = until
         finally:
             self._running = False
@@ -141,8 +182,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled events not yet fired (including cancelled)."""
+        """Number of scheduled events not yet fired (including cancelled).
+
+        Probes are deliberately excluded: run loops that drain the heap
+        must behave identically with and without telemetry attached.
+        """
         return len(self._heap)
+
+    @property
+    def pending_probes(self) -> int:
+        """Number of scheduled observation probes not yet fired."""
+        return len(self._probes)
 
     @property
     def events_fired(self) -> int:

@@ -1,0 +1,32 @@
+"""Deterministic, off-by-default observability for the simulator.
+
+Three cooperating pieces (see ``docs/api.md`` → "Tracing a run"):
+
+* :class:`~repro.telemetry.tracer.Tracer` — a bounded ring buffer of
+  request-span and core-harvest lifecycle events, emitted from hook
+  points in :mod:`repro.cluster.server`;
+* :class:`~repro.telemetry.probes.ProbeEngine` — per-interval gauges
+  (busy/loaned cores, RQ depth and overflow occupancy, L2 hit rates)
+  sampled on the engine's observation side heap;
+* exporters — Perfetto trace JSON and CSV time series, plus the
+  critical-path report in :mod:`repro.analysis.critical_path`.
+
+The contract: telemetry on or off, simulation results are bit-identical;
+memory is bounded (ring eviction + sample caps, with drop counters); and
+repeated runs of one config export byte-identical artifacts.
+"""
+
+from repro.telemetry.export import write_perfetto_json, write_timeseries_csv
+from repro.telemetry.probes import ProbeEngine
+from repro.telemetry.spec import TelemetryConfig
+from repro.telemetry.tracer import DEPTH_KINDS, Event, Tracer
+
+__all__ = [
+    "DEPTH_KINDS",
+    "Event",
+    "ProbeEngine",
+    "TelemetryConfig",
+    "Tracer",
+    "write_perfetto_json",
+    "write_timeseries_csv",
+]

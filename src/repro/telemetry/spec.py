@@ -1,0 +1,60 @@
+"""Telemetry configuration (imported by :mod:`repro.config`).
+
+Like :mod:`repro.faults.spec`, this module imports nothing from
+``repro.config``: the :class:`TelemetryConfig` dataclass is re-exported
+there so the serializer's type registry (which walks the config module)
+can round-trip it, and so it participates in the result-cache key the
+same way ``faults``/``client`` do.
+
+The contract every consumer relies on:
+
+* **Off by default, zero perturbation when on.** A run with telemetry
+  enabled produces a :class:`~repro.core.metrics.ServerResult` that is
+  bit-identical to the same run with telemetry disabled. Hooks only read
+  simulator state; probes ride the engine's side heap
+  (:meth:`~repro.sim.engine.Simulator.schedule_probe`), which never
+  touches the simulation's event ordering.
+* **Bounded memory.** The span tracer is a fixed-capacity ring buffer
+  (oldest events are evicted and counted, never grown past
+  ``max_events``); the probe engine stops storing samples past
+  ``max_probe_samples`` and counts the drops.
+* **Deterministic output.** Two runs of the same config produce
+  byte-identical trace/CSV artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs riding in ``SimulationConfig.telemetry``."""
+
+    #: Master switch. When False (or when the whole config is None) the
+    #: engine allocates no tracer and no probe engine at all.
+    enabled: bool = False
+    #: Span-tracer ring-buffer capacity (events). Oldest events are
+    #: evicted once full; :attr:`Tracer.dropped` counts them.
+    max_events: int = 1_000_000
+    #: Simulated-time cadence of the time-series probes.
+    probe_interval_us: float = 50.0
+    #: Cap on stored probe samples; later ticks still fire but their
+    #: samples are dropped (and counted) to bound memory.
+    max_probe_samples: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {self.max_events}")
+        if self.probe_interval_us <= 0:
+            raise ValueError(
+                f"probe_interval_us must be positive, got {self.probe_interval_us}"
+            )
+        if self.max_probe_samples <= 0:
+            raise ValueError(
+                f"max_probe_samples must be positive, got {self.max_probe_samples}"
+            )
+
+    @property
+    def probe_interval_ns(self) -> int:
+        return max(1, int(self.probe_interval_us * 1000))

@@ -1,0 +1,140 @@
+"""The span tracer: a bounded ring buffer of lifecycle events.
+
+Every event is one flat 6-tuple ``(ts, kind, req, vm, core, extra)`` —
+integer nanosecond timestamp, a kind constant from this module, then
+three id fields and one kind-specific integer (-1 / 0 when unused).
+Flat tuples keep the per-event cost to a single allocation and make the
+buffer trivially deterministic: identical runs append identical tuples
+in identical order.
+
+Request lifecycle kinds (the ``req``/``vm`` fields are always set):
+
+========================  ====================================================
+``REQ_ARRIVAL``           the NIC saw the packet (attempt arrival)
+``REQ_ENQUEUE``           landed in the hardware subqueue; ``extra`` = depth
+``REQ_ENQUEUE_SPILL``     landed in the overflow subqueue; ``extra`` = depth
+``REQ_SHED``              admission control fast-failed it; never queued
+``REQ_DISPATCH``          a core started the dispatch transition (``core``)
+``REQ_EXEC``              the compute segment began on ``core``
+``REQ_BLOCK``             blocked on backend I/O; ``extra`` = demand ns
+``REQ_READY``             the backend response marked it ready again
+``REQ_COMPLETE``          last segment finished; ``extra`` = depth after
+``REQ_FAIL``              abandoned (fault/timeout/crash); ``extra`` = depth
+                          after its queue entry was discarded, or -1
+========================  ====================================================
+
+Core harvest lifecycle kinds (``core`` always set):
+
+========================  ====================================================
+``CORE_LEND``             lend transition began (``vm`` = owner Primary VM)
+``CORE_LEND_DONE``        worst-case flush gate elapsed (``vm`` = target
+                          Harvest VM, ``extra`` = flushed entries)
+``CORE_RECLAIM``          reclaim began (``vm`` = reclaiming Primary VM)
+``CORE_RECLAIM_DONE``     core back home (``extra`` = flushed entries)
+``BATCH_START``           batch unit started (``vm`` = Harvest VM,
+                          ``extra`` = scheduled duration ns)
+``BATCH_DONE``            batch unit ran to completion
+``BATCH_PREEMPT``         batch unit preempted by a reclaim
+========================  ====================================================
+
+Server-scope kinds: ``AGENT_TICK`` (software monitoring agent sweep,
+``extra`` = lends initiated so far), ``SERVER_CRASH`` / ``SERVER_RESTART``
+(fault windows).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Event = Tuple[int, str, int, int, int, int]
+
+REQ_ARRIVAL = "req_arrival"
+REQ_ENQUEUE = "req_enqueue"
+REQ_ENQUEUE_SPILL = "req_enqueue_spill"
+REQ_SHED = "req_shed"
+REQ_DISPATCH = "req_dispatch"
+REQ_EXEC = "req_exec"
+REQ_BLOCK = "req_block"
+REQ_READY = "req_ready"
+REQ_COMPLETE = "req_complete"
+REQ_FAIL = "req_fail"
+
+CORE_LEND = "core_lend"
+CORE_LEND_DONE = "core_lend_done"
+CORE_RECLAIM = "core_reclaim"
+CORE_RECLAIM_DONE = "core_reclaim_done"
+BATCH_START = "batch_start"
+BATCH_DONE = "batch_done"
+BATCH_PREEMPT = "batch_preempt"
+
+AGENT_TICK = "agent_tick"
+SERVER_CRASH = "server_crash"
+SERVER_RESTART = "server_restart"
+
+#: Kinds whose ``extra`` field is a queue depth (drives the Perfetto
+#: per-VM subqueue counter tracks).
+DEPTH_KINDS = frozenset((REQ_ENQUEUE, REQ_ENQUEUE_SPILL, REQ_COMPLETE, REQ_FAIL))
+
+#: Critical-path phase names, in lifecycle/report order.
+PHASES = ("nic", "queueing", "dispatch", "execution", "backend")
+
+#: Event kind -> the phase a request enters when that event fires. This
+#: is the exact-tiling map shared by the critical-path analysis and the
+#: Perfetto request chains: every request event closes the current phase
+#: at its own timestamp and opens the mapped one.
+PHASE_AFTER = {
+    REQ_ARRIVAL: "nic",
+    REQ_ENQUEUE: "queueing",
+    REQ_ENQUEUE_SPILL: "queueing",
+    REQ_READY: "queueing",
+    REQ_DISPATCH: "dispatch",
+    REQ_EXEC: "execution",
+    REQ_BLOCK: "backend",
+}
+
+
+class Tracer:
+    """Fixed-capacity ring buffer of :data:`Event` tuples.
+
+    Appending past capacity overwrites the oldest event and increments
+    :attr:`dropped` — memory is bounded by construction, and the export
+    side can report exactly how much history was lost.
+    """
+
+    __slots__ = ("capacity", "dropped", "_buf", "_head", "_count")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buf: List[Event] = [None] * capacity  # type: ignore[list-item]
+        self._head = 0  # next write slot
+        self._count = 0
+
+    def emit(
+        self,
+        ts: int,
+        kind: str,
+        req: int = -1,
+        vm: int = -1,
+        core: int = -1,
+        extra: int = 0,
+    ) -> None:
+        """Append one event (O(1), one tuple allocation)."""
+        i = self._head
+        if self._count == self.capacity:
+            self.dropped += 1
+        else:
+            self._count += 1
+        self._buf[i] = (ts, kind, req, vm, core, extra)
+        self._head = (i + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def events(self) -> List[Event]:
+        """All retained events in emission (chronological) order."""
+        if self._count < self.capacity:
+            return list(self._buf[: self._count])
+        return self._buf[self._head :] + self._buf[: self._head]

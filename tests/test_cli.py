@@ -80,6 +80,26 @@ def test_faults_command_fast(capsys, tmp_path):
     assert out_json.exists()
 
 
+def test_trace_command_deterministic(capsys, tmp_path):
+    argv = ["trace", "--system", "NoHarvest", "--horizon-ms", "40",
+            "--accesses", "6", "--probe-interval-us", "100"]
+    rc = main(argv + ["--out", str(tmp_path / "a")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Critical path" in out
+    assert "span event(s)" in out
+    assert "probe sample(s)" in out
+
+    rc = main(argv + ["--out", str(tmp_path / "b")])
+    assert rc == 0
+    capsys.readouterr()
+    for name in ("trace.json", "timeseries.csv", "critical_path.txt"):
+        first = (tmp_path / "a" / name).read_bytes()
+        second = (tmp_path / "b" / name).read_bytes()
+        assert first, name
+        assert first == second, f"{name} not byte-identical across runs"
+
+
 def test_unknown_system_rejected():
     parser = build_parser()
     with pytest.raises(SystemExit):

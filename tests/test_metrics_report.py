@@ -43,6 +43,41 @@ class TestClusterResult:
         assert cluster.p99_by_service()["Text"] == pytest.approx(3.0)
         assert cluster.avg_p99_ms() == pytest.approx((3.0 + 6.0) / 2)
 
+    def test_per_server_reduction_is_mean_not_sum(self):
+        # Aggregates must be means over servers; a third server shifts
+        # them by exactly its own contribution.
+        two = ClusterResult("S", servers=[
+            make_server_result(p99=2.0, busy=12),
+            make_server_result(p99=2.0, busy=12),
+        ])
+        three = ClusterResult("S", servers=two.servers + [
+            make_server_result(p99=8.0, busy=36),
+        ])
+        assert three.avg_busy_cores() == pytest.approx(20.0)
+        assert three.avg_p99_ms() == pytest.approx((3.0 + 3.0 + 12.0) / 3)
+        # p99_by_service reduces per service, keyed off server 0's services.
+        assert three.p99_by_service() == pytest.approx(
+            {"Text": (2.0 + 2.0 + 8.0) / 3, "User": (4.0 + 4.0 + 16.0) / 3}
+        )
+
+    def test_throughput_last_server_wins_per_job(self):
+        cluster = ClusterResult("S", servers=[
+            make_server_result(job="BFS", thr=100),
+            make_server_result(job="BFS", thr=300),
+        ])
+        assert cluster.throughput_by_job() == {"BFS": 300.0}
+
+    def test_empty_cluster_aggregation_raises(self):
+        empty = ClusterResult("S")
+        with pytest.raises(ValueError, match="no servers"):
+            empty.avg_p99_ms()
+        with pytest.raises(ValueError, match="no servers"):
+            empty.avg_busy_cores()
+        with pytest.raises(ValueError, match="no servers"):
+            empty.p99_by_service()
+        # throughput_by_job has a natural empty value; it must not raise.
+        assert empty.throughput_by_job() == {}
+
 
 class TestHelpers:
     def test_normalize(self):
