@@ -69,6 +69,9 @@ def main(argv=None) -> int:
         "benchmark": "sweep_runner_scaling",
         "version": repro.__version__,
         "python": platform.python_version(),
+        # parallel_speedup > 1 needs real cores: on a single-CPU host two
+        # workers time-slice one core and the pool overhead is pure loss.
+        "cpus": os.cpu_count(),
         "points": spec.size(),
         "horizon_ms": args.horizon_ms,
         "workers1_cold_s": round(serial_s, 3),

@@ -53,6 +53,7 @@ from repro.harvest.software import SmartHarvestAgent
 from repro.hw.context import SavedContext
 from repro.hw.controller import HardHarvestController
 from repro.mem.address import AddressSpace
+from repro.mem.cache import slowpath_enabled
 from repro.mem.dram import DramModel
 from repro.mem.hierarchy import CoreMemory, build_llc
 from repro.sim.engine import Simulator
@@ -239,6 +240,17 @@ class ServerSimulation:
             self.client = ClientRuntime(self, simcfg.client)
 
         # ------------------------------------------------------------------
+        # Hot-path hoists. Named streams are cached by the registry (same
+        # generator object every call, seeded by name alone), so binding
+        # them once removes a registry lookup per segment without touching
+        # the draw sequence. The fast/slow memory path is chosen once here.
+        # ------------------------------------------------------------------
+        self._mem_rng = self.rng.stream("mem")
+        self._batchmem_rng = self.rng.stream("batchmem")
+        self._costs_rng = self.rng.stream("costs")
+        self._mem_fastpath = not slowpath_enabled()
+
+        # ------------------------------------------------------------------
         # Pre-draw workload: identical across systems given the same seed.
         # ------------------------------------------------------------------
         self._generate_workload()
@@ -358,7 +370,9 @@ class ServerSimulation:
                 for core in hvm.cores:
                     self._start_batch_unit(core)
         cap_ns = self._horizon_cap()
-        while not self._finished and self.sim.pending_events:
+        # pending_live_events: a heap holding only cancelled deadline
+        # timers (retry-heavy fault runs) is already drained.
+        while not self._finished and self.sim.pending_live_events:
             self.sim.run(max_events=20_000)
             if self.sim.now > cap_ns:
                 self.counters.incr("horizon_cap_hit")
@@ -554,7 +568,7 @@ class ServerSimulation:
             req.breakdown.reassign_ns += delay
             self.counters.incr("buffer_borrows")
         else:
-            delay = self.costs.dispatch_ns(self.rng.stream("costs"))
+            delay = self.costs.dispatch_ns(self._costs_rng)
         req.breakdown.queueing_ns += self.sim.now - req.ready_since_ns + delay
         tr = self.tracer
         if tr is not None:
@@ -579,7 +593,7 @@ class ServerSimulation:
         core.state = SWITCHING
         core.idle_cause = None
         core.current_request = req
-        delay = self.costs.dispatch_ns(self.rng.stream("costs"))
+        delay = self.costs.dispatch_ns(self._costs_rng)
         if steal:
             # OS load balancing: pulling work steered to a sibling core.
             delay += self.system.software_costs.rebalance_ns
@@ -622,16 +636,17 @@ class ServerSimulation:
     # ==================================================================
     def _segment_duration_ns(self, core: Core, vm: PrimaryVm, req: Request) -> int:
         n = self.simcfg.accesses_per_segment
-        mem_rng = self.rng.stream("mem")
-        accesses = vm.memory.sample(mem_rng, n, req.private_region)
+        batch = vm.memory.sample(self._mem_rng, n, req.private_region)
         l2 = core.memory.l2.array
         h0, a0 = l2.hits, l2.accesses
-        total_ns = 0
         now = self.sim.now
-        for addr, shared, instr, write in accesses:
-            total_ns += core.memory.access(
-                addr, shared, instr, vm.llc, True, now, write
-            )
+        if self._mem_fastpath:
+            total_ns = core.memory.access_batch(batch, vm.llc, True, now)
+        else:
+            total_ns = 0
+            access = core.memory.access
+            for addr, shared, instr, write in batch:
+                total_ns += access(addr, shared, instr, vm.llc, True, now, write)
         self.l2_primary_hits += l2.hits - h0
         self.l2_primary_accesses += l2.accesses - a0
         l_avg = total_ns / max(1, n)
@@ -892,17 +907,20 @@ class ServerSimulation:
     def _batch_unit_duration_ns(self, core: Core, hvm: HarvestVm) -> int:
         job = hvm.job
         n = max(8, self.simcfg.accesses_per_segment // 2)
-        mem_rng = self.rng.stream("batchmem")
-        accesses = hvm.memory.sample(mem_rng, n)
+        batch = hvm.memory.sample(self._batchmem_rng, n)
         l2 = core.memory.l2.array
         h0, a0 = l2.hits, l2.accesses
-        total_ns = 0
         now = self.sim.now
         is_primary_view = not core.on_loan  # own cores see full structures
-        for addr, shared, instr, write in accesses:
-            total_ns += core.memory.access(
-                addr, shared, instr, hvm.llc, is_primary_view, now, write
-            )
+        if self._mem_fastpath:
+            total_ns = core.memory.access_batch(batch, hvm.llc, is_primary_view, now)
+        else:
+            total_ns = 0
+            access = core.memory.access
+            for addr, shared, instr, write in batch:
+                total_ns += access(
+                    addr, shared, instr, hvm.llc, is_primary_view, now, write
+                )
         self.l2_batch_hits += l2.hits - h0
         self.l2_batch_accesses += l2.accesses - a0
         l_avg = total_ns / n
@@ -910,12 +928,11 @@ class ServerSimulation:
         refs = job.mem_refs_per_us * job.unit_us
         base = cpu_ns + int(l_avg * refs)
         # Sublinear scaling: coordination costs grow with active batch cores.
-        active = sum(
-            1
-            for c in self.cores
-            if c.state == BUSY and c.batch_event is not None
-        )
-        return int(base * (1.0 + job.sync_overhead * max(0, active)))
+        active = 0
+        for c in self.cores:
+            if c.state == BUSY and c.batch_event is not None:
+                active += 1
+        return int(base * (1.0 + job.sync_overhead * active))
 
     def _start_batch_unit(self, core: Core) -> None:
         if self.injector is not None:
@@ -1032,7 +1049,7 @@ class ServerSimulation:
         core.state = SWITCHING
         core.reclaim_in_flight = True
         self.counters.incr("reclaims")
-        cost = self.costs.reclaim_cost(core.memory, self.rng.stream("costs"))
+        cost = self.costs.reclaim_cost(core.memory, self._costs_rng)
         tr = self.tracer
         if tr is not None:
             tr.emit(

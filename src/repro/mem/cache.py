@@ -18,9 +18,26 @@ The array supports:
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.mem.replacement import CacheSet, ReplacementPolicy
+
+#: Environment switch selecting the pre-fast-path reference implementation
+#: (per-way linear tag scans, un-batched access loops).  Results are
+#: bit-identical either way — the parity suite proves it — so the slow path
+#: exists only as the baseline for ``benchmarks/hotpath_speedup.py`` and as
+#: a live replica of the seed behavior.
+SLOWPATH_ENV = "REPRO_MEM_SLOWPATH"
+
+
+def slowpath_enabled() -> bool:
+    """True when the reference (pre-fast-path) implementation is requested.
+
+    Read at *construction* time of each array/simulation, so flipping the
+    environment variable between runs in one process works.
+    """
+    return os.environ.get(SLOWPATH_ENV, "") not in ("", "0")
 
 
 class SetAssocArray:
@@ -50,6 +67,11 @@ class SetAssocArray:
         # touched. Equivalent to eager invalidation, O(touched sets) cost.
         self._flush_epoch = 0
         self._way_flushed_at = [0] * ways
+        # seen-epoch -> mask of ways flushed after it, memoized between
+        # flushes (cleared on every flush_ways). Reconciling N sets that
+        # share a seen epoch then costs one way scan, not N.
+        self._stale_masks: Dict[int, int] = {}
+        self.fast = not slowpath_enabled()
 
     # ------------------------------------------------------------------
     def enable_trace(self, limit: Optional[int] = None) -> None:
@@ -82,11 +104,15 @@ class SetAssocArray:
             self.sets[set_index] = cset
         elif cset.seen_flush < self._flush_epoch:
             self._reconcile(cset)
-        if self.trace is not None and (
-            self._trace_limit is None or len(self.trace) < self._trace_limit
+        trace = self.trace
+        if trace is not None and (
+            self._trace_limit is None or len(trace) < self._trace_limit
         ):
-            self.trace.append((set_index, tag, shared))
-        way = cset.find(tag, allowed)
+            trace.append((set_index, tag, shared))
+        if self.fast:
+            way = cset.find_fast(tag, allowed)
+        else:
+            way = cset.find(tag, allowed)
         if way >= 0:
             self.hits += 1
             if write:
@@ -99,10 +125,7 @@ class SetAssocArray:
             self.evictions += 1
             if cset.dirty[victim]:
                 self.writebacks += 1
-        cset.tags[victim] = tag
-        cset.valid[victim] = True
-        cset.shared[victim] = shared
-        cset.dirty[victim] = write
+        cset.fill(victim, tag, shared, write)
         self.policy.on_insert(cset, victim, shared)
         return False
 
@@ -113,22 +136,49 @@ class SetAssocArray:
             return False
         if cset.seen_flush < self._flush_epoch:
             self._reconcile(cset)
+        if self.fast:
+            return cset.find_fast(tag, allowed) >= 0
         return cset.find(tag, allowed) >= 0
 
     # ------------------------------------------------------------------
+    def _stale_mask(self, seen: int) -> int:
+        """Mask of ways flushed after epoch ``seen`` (memoized per epoch)."""
+        m = self._stale_masks.get(seen)
+        if m is None:
+            flushed_at = self._way_flushed_at
+            m = 0
+            for w in range(self.ways):
+                if flushed_at[w] > seen:
+                    m |= 1 << w
+            self._stale_masks[seen] = m
+        return m
+
     def _reconcile(self, cset: CacheSet) -> int:
         """Apply pending way flushes to one set; returns entries dropped.
 
         Flushing a dirty line is a write-back-and-invalidate (wbinvd
         semantics): the write-back is counted when the flush lands."""
         dropped = 0
-        flushed_at = self._way_flushed_at
-        seen = cset.seen_flush
-        for w in range(self.ways):
-            if flushed_at[w] > seen and cset.valid[w]:
-                cset.valid[w] = False
-                if cset.dirty[w]:
-                    cset.dirty[w] = False
+        stale = self._stale_mask(cset.seen_flush) & cset.valid_mask
+        if stale:
+            cset.valid_mask &= ~stale
+            valid = cset.valid
+            tags = cset.tags
+            dirty = cset.dirty
+            index = cset.index
+            while stale:
+                low = stale & -stale
+                stale ^= low
+                w = low.bit_length() - 1
+                valid[w] = False
+                tag = tags[w]
+                m = index[tag] & ~low
+                if m:
+                    index[tag] = m
+                else:
+                    del index[tag]
+                if dirty[w]:
+                    dirty[w] = False
                     self.writebacks += 1
                 dropped += 1
         cset.seen_flush = self._flush_epoch
@@ -141,6 +191,7 @@ class SetAssocArray:
         the number of ways marked (not entries — counting entries would
         defeat the laziness)."""
         self._flush_epoch += 1
+        self._stale_masks.clear()
         n = 0
         for w in range(self.ways):
             if (mask >> w) & 1:

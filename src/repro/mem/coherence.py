@@ -73,7 +73,10 @@ class Directory:
                     cache.array._reconcile(cset)
                 way = cset.find(tag, full_mask(cache.array.ways))
                 if way >= 0:
-                    cset.valid[way] = False
+                    # Index-coherent invalidation: these sets are owned by a
+                    # SetAssocArray, whose hashed tag store must not go
+                    # stale when the directory knocks a line out.
+                    cset.invalidate_way(way)
                     invalidated += 1
             self._sharers[line].discard(sharer)
         self.invalidations_sent += invalidated

@@ -32,7 +32,7 @@ class CacheSet:
 
     __slots__ = (
         "ways", "tags", "valid", "shared", "dirty", "stamp", "rrpv",
-        "clock", "seen_flush",
+        "clock", "seen_flush", "index", "valid_mask",
     )
 
     def __init__(self, ways: int):
@@ -48,9 +48,21 @@ class CacheSet:
         self.clock = 0
         #: Flush epoch this set has reconciled up to (see SetAssocArray).
         self.seen_flush = 0
+        #: Hashed tag store: tag -> bitmask of *valid* ways holding it.
+        #: Maintained only by :meth:`fill` / :meth:`invalidate_way`; code
+        #: that mutates ``tags``/``valid`` directly (tests, offline replay)
+        #: must keep using the linear :meth:`find`.
+        self.index: dict = {}
+        #: Bitmask mirror of ``valid`` (bit w set <=> valid[w] is True),
+        #: subject to the same maintenance contract as ``index``.
+        self.valid_mask = 0
 
     def find(self, tag: int, allowed: int) -> int:
-        """Way index holding ``tag`` among allowed ways, or -1."""
+        """Way index holding ``tag`` among allowed ways, or -1.
+
+        Linear reference scan; valid regardless of how the set was
+        populated. The hot path uses :meth:`find_fast` instead.
+        """
         tags = self.tags
         valid = self.valid
         for w in range(self.ways):
@@ -58,12 +70,63 @@ class CacheSet:
                 return w
         return -1
 
+    def find_fast(self, tag: int, allowed: int) -> int:
+        """Index-backed :meth:`find`; requires fill/invalidate discipline.
+
+        The same tag can occupy several ways (a mask-restricted miss fills
+        a copy even when a disallowed way already holds the tag), so the
+        index stores a way *mask*; the lowest allowed way wins, matching
+        the linear scan exactly.
+        """
+        m = self.index.get(tag)
+        if m is None:
+            return -1
+        m &= allowed
+        if m == 0:
+            return -1
+        return (m & -m).bit_length() - 1
+
+    def fill(self, way: int, tag: int, shared: bool, dirty: bool) -> None:
+        """Install ``tag`` in ``way``, keeping the index/mask coherent."""
+        bit = 1 << way
+        index = self.index
+        if self.valid_mask & bit:
+            old = self.tags[way]
+            m = index[old] & ~bit
+            if m:
+                index[old] = m
+            else:
+                del index[old]
+        self.tags[way] = tag
+        self.valid[way] = True
+        self.shared[way] = shared
+        self.dirty[way] = dirty
+        self.valid_mask |= bit
+        index[tag] = index.get(tag, 0) | bit
+
+    def invalidate_way(self, way: int) -> bool:
+        """Invalidate one way (index-coherently); True if it was valid."""
+        bit = 1 << way
+        if not self.valid[way]:
+            # Tolerate sets populated by direct mutation: fall back to the
+            # lists as ground truth and leave the (unused) index alone.
+            return False
+        self.valid[way] = False
+        if self.valid_mask & bit:
+            self.valid_mask &= ~bit
+            tag = self.tags[way]
+            m = self.index.get(tag, 0) & ~bit
+            if m:
+                self.index[tag] = m
+            elif tag in self.index:
+                del self.index[tag]
+        return True
+
     def invalidate_ways(self, mask: int) -> int:
         """Invalidate every way selected by ``mask``; returns count flushed."""
         n = 0
         for w in range(self.ways):
-            if (mask >> w) & 1 and self.valid[w]:
-                self.valid[w] = False
+            if (mask >> w) & 1 and self.invalidate_way(w):
                 n += 1
         return n
 

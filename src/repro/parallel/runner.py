@@ -68,6 +68,29 @@ def execute_payload(payload_json: str) -> Dict:
     return server_result_to_dict(result)
 
 
+def execute_payload_chunk(
+    tasks: Sequence[Tuple[str, str]],
+) -> List[Tuple[str, Optional[Dict], Optional[str]]]:
+    """Worker entry point: run a contiguous chunk of sweep points.
+
+    Submitting one pool task per *chunk* rather than per point amortizes
+    the per-task overhead (payload pickling, future bookkeeping, result
+    transfer, worker wake-up) that made a two-worker sweep of short
+    points slower than the serial loop.  Failures stay per-point — one
+    crashed point reports its error without poisoning its chunk-mates.
+
+    ``execute_payload`` is resolved through the module global at call
+    time so test monkeypatching reaches the chunked path too.
+    """
+    out: List[Tuple[str, Optional[Dict], Optional[str]]] = []
+    for label, payload_json in tasks:
+        try:
+            out.append((label, execute_payload(payload_json), None))
+        except Exception as exc:  # noqa: BLE001 - uniform retry handling
+            out.append((label, None, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
 @dataclass
 class SweepOutcome:
     """Everything a sweep produced, in spec order."""
@@ -108,20 +131,31 @@ def _execute_batch(
             except Exception as exc:  # noqa: BLE001 - uniform retry handling
                 failed[label] = f"{type(exc).__name__}: {exc}"
         return done, failed
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(tasks)))
+    # Contiguous chunks, ~4 per worker: big enough to amortize pool IPC,
+    # small enough that an uneven point mix still load-balances.
+    chunk_size = max(1, -(-len(tasks) // (workers * 4)))
+    chunks = [tasks[i:i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
     try:
-        futures = [
-            (label, pool.submit(execute_payload, payload_json))
-            for label, payload_json in tasks
-        ]
-        for label, future in futures:
+        futures = [(chunk, pool.submit(execute_payload_chunk, chunk))
+                   for chunk in chunks]
+        for chunk, future in futures:
+            timeout = task_timeout * len(chunk) if task_timeout is not None else None
             try:
-                done[label] = future.result(timeout=task_timeout)
+                for label, result, err in future.result(timeout=timeout):
+                    if err is None:
+                        done[label] = result
+                    else:
+                        failed[label] = err
             except FutureTimeout:
                 future.cancel()
-                failed[label] = f"timed out after {task_timeout}s"
+                for label, _ in chunk:
+                    failed[label] = (
+                        f"chunk of {len(chunk)} timed out after {timeout}s"
+                    )
             except Exception as exc:  # noqa: BLE001 - crash/broken pool
-                failed[label] = f"{type(exc).__name__}: {exc}"
+                for label, _ in chunk:
+                    failed[label] = f"{type(exc).__name__}: {exc}"
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return done, failed

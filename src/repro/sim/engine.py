@@ -36,19 +36,30 @@ class EventHandle:
     front region.
     """
 
-    __slots__ = ("time", "cancelled", "fired", "_fn", "_args")
+    __slots__ = ("time", "cancelled", "fired", "_fn", "_args", "_sim")
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.cancelled = False
         self.fired = False
         self._fn = fn
         self._args = args
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call multiple times,
         including after the event already fired (then a no-op)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.fired and self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -77,6 +88,12 @@ class Simulator:
         # probes exist or not.
         self._probes: List[Tuple[int, int, Callable[[], Any]]] = []
         self._probe_seq = 0
+        # Cancelled-but-unpopped events currently sitting in the heap.
+        # Tracked so ``pending_live_events`` is O(1) and so a
+        # cancellation-heavy workload (deadline timers, fault windows)
+        # triggers compaction instead of dragging dead weight through
+        # every subsequent heap operation.
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -87,7 +104,16 @@ class Simulator:
         ``delay`` must be a non-negative integer. Returns a handle that can
         cancel the event before it fires.
         """
-        return self.schedule_at(self.now + int(delay), fn, *args)
+        # Inlined schedule_at: this is the hottest scheduling entry point,
+        # and delay >= 0 implies time >= now, so the past-check reduces to
+        # a sign check on the delay.
+        time = self.now + int(delay)
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: delay={delay} < 0")
+        handle = EventHandle(time, fn, args, self)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulation time ``time`` ns."""
@@ -95,7 +121,7 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: t={time} < now={self.now}"
             )
-        handle = EventHandle(time, fn, args)
+        handle = EventHandle(time, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
         return handle
@@ -146,13 +172,18 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         fired = 0
+        # Hoisted locals: this loop runs once per event over multi-second
+        # horizons, so each attribute lookup shaved here is millions saved.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap and not self._stop_requested:
-                time, _seq, handle = self._heap[0]
+            while heap and not self._stop_requested:
+                time, _seq, handle = heap[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 if handle.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 if self._probes:
                     self._fire_probes_until(time)
@@ -178,7 +209,35 @@ class Simulator:
         """Timestamp of the next pending (non-cancelled) event, or None."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_pending -= 1
         return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting
+    # ------------------------------------------------------------------
+    #: Compact only past this many dead entries (amortizes the O(n) sweep)
+    #: and only when they are the majority of the heap (so each sweep at
+    #: least halves it).
+    _COMPACT_MIN_CANCELLED = 512
+
+    def _note_cancelled(self) -> None:
+        """A pending event was cancelled (called by its handle)."""
+        n = self._cancelled_pending + 1
+        self._cancelled_pending = n
+        if n > self._COMPACT_MIN_CANCELLED and 2 * n > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap.
+
+        In-place (slice assignment + heapify) so that a ``run()`` loop
+        holding a reference to the heap list keeps seeing the live queue.
+        Firing order is untouched: entries keep their (time, seq) keys and
+        cancelled events never fire anyway.
+        """
+        self._heap[:] = [e for e in self._heap if not e[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     @property
     def pending_events(self) -> int:
@@ -188,6 +247,16 @@ class Simulator:
         must behave identically with and without telemetry attached.
         """
         return len(self._heap)
+
+    @property
+    def pending_live_events(self) -> int:
+        """Number of pending events that can still fire (cancelled excluded).
+
+        O(1): maintained by cancellation accounting rather than a heap scan.
+        This is the right predicate for "is there work left" checks — a heap
+        holding only cancelled timers is already drained.
+        """
+        return len(self._heap) - self._cancelled_pending
 
     @property
     def pending_probes(self) -> int:

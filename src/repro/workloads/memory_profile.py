@@ -18,6 +18,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.mem.address import AddressSpace, Region
+from repro.mem.cache import slowpath_enabled
 from repro.workloads.microservices import ServiceProfile
 
 #: Cache lines per 4 KB page at 64 B lines.
@@ -39,6 +40,56 @@ WRITE_FRACTION = 0.3
 Access = Tuple[int, bool, bool, bool]  # (address, shared, is_instr, is_write)
 
 
+class AccessBatch:
+    """A segment's sampled accesses as parallel NumPy arrays.
+
+    The fast path (:meth:`repro.mem.hierarchy.CoreMemory.access_batch`)
+    consumes the arrays wholesale; iterating yields the classic
+    ``(addr, shared, instr, write)`` tuples (Python scalars) so per-access
+    consumers — the reference slow path, tests — keep working unchanged.
+    """
+
+    __slots__ = ("addr", "shared", "instr", "write")
+
+    def __init__(
+        self,
+        addr: np.ndarray,
+        shared: np.ndarray,
+        instr: np.ndarray,
+        write: np.ndarray,
+    ):
+        self.addr = addr
+        self.shared = shared
+        self.instr = instr
+        self.write = write
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    def __iter__(self):
+        return iter(
+            zip(
+                self.addr.tolist(),
+                self.shared.tolist(),
+                self.instr.tolist(),
+                self.write.tolist(),
+            )
+        )
+
+
+_EMPTY_BATCH = AccessBatch(
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=bool),
+    np.empty(0, dtype=bool),
+    np.empty(0, dtype=bool),
+)
+
+
+#: Page / line geometry matching ``Region.addr`` / ``Region.line_addr``.
+_PAGE_BYTES = 4096
+_LINE_BYTES = 64
+
+
 class ServiceMemory:
     """Address regions and access sampling for one service instance."""
 
@@ -50,6 +101,9 @@ class ServiceMemory:
             space.alloc(profile.private_pages, shared=False) for _ in range(PRIVATE_POOL)
         ]
         self._next_private = 0
+        self._base_instr = self.instr.addr(0)
+        self._base_shared = self.shared.addr(0)
+        self._fast = not slowpath_enabled()
 
     def new_invocation(self) -> Region:
         """Private region for a fresh invocation (cycled from the pool)."""
@@ -59,11 +113,54 @@ class ServiceMemory:
 
     def sample(
         self, rng: np.random.Generator, n: int, private: Region
-    ) -> List[Access]:
+    ) -> AccessBatch:
         """Sample ``n`` accesses for one compute segment.
 
         Mix: ~30% instruction fetches (always shared), the rest data split
-        between shared and private pages per the profile.
+        between shared and private pages per the profile. Fully vectorized;
+        the draw order and per-element float arithmetic are bit-identical to
+        the reference scalar loop (pinned by the hot-path parity suite).
+        """
+        if not self._fast:
+            return self._sample_reference(rng, n, private)
+        if n <= 0:
+            return _EMPTY_BATCH
+        kind = rng.random(n)
+        page_u = rng.random(n) ** PAGE_SKEW
+        line = rng.integers(0, HOT_LINES_PER_PAGE, n)
+        is_write = rng.random(n) < WRITE_FRACTION
+
+        instr_m = kind < 0.30
+        shared_m = ~instr_m & (kind < 0.30 + 0.70 * self.profile.shared_ref_fraction)
+        shared_page = instr_m | shared_m
+
+        npages = np.where(
+            instr_m,
+            float(self.instr.num_pages),
+            np.where(shared_m, float(self.shared.num_pages), float(private.num_pages)),
+        )
+        page = (page_u * npages).astype(np.int64)
+        np.minimum(page, npages.astype(np.int64) - 1, out=page)
+
+        addr = np.where(
+            instr_m,
+            self._base_instr,
+            np.where(shared_m, self._base_shared, private.addr(0)),
+        )
+        page *= _PAGE_BYTES
+        addr += page
+        addr += line * _LINE_BYTES
+        # Instruction fetches and shared read-mostly pages don't write.
+        write = is_write & ~shared_page
+        return AccessBatch(addr, shared_page, instr_m, write)
+
+    def _sample_reference(
+        self, rng: np.random.Generator, n: int, private: Region
+    ) -> List[Access]:
+        """The original per-element sampling loop (REPRO_MEM_SLOWPATH).
+
+        Kept as the live baseline for ``benchmarks/hotpath_speedup.py``;
+        draws and results are bit-identical to :meth:`sample`.
         """
         if n <= 0:
             return []
@@ -85,7 +182,6 @@ class ServiceMemory:
             if page >= region.num_pages:
                 page = region.num_pages - 1
             addr = region.line_addr(page, int(line[i]))
-            # Instruction fetches and shared read-mostly pages don't write.
             write = bool(is_write[i]) and not instr and not region.shared
             out.append((addr, region.shared, instr, write))
         return out
@@ -105,8 +201,33 @@ class BatchMemory:
         self.code = space.alloc(code_pages, shared=True)
         self.data = space.alloc(data_pages, shared=False)
         self.skew = skew
+        self._base_code = self.code.addr(0)
+        self._base_data = self.data.addr(0)
+        self._fast = not slowpath_enabled()
 
-    def sample(self, rng: np.random.Generator, n: int) -> List[Access]:
+    def sample(self, rng: np.random.Generator, n: int) -> AccessBatch:
+        if not self._fast:
+            return self._sample_reference(rng, n)
+        if n <= 0:
+            return _EMPTY_BATCH
+        kind = rng.random(n)
+        page_u = rng.random(n) ** self.skew
+        line = rng.integers(0, 2 * HOT_LINES_PER_PAGE, n)
+        is_write = rng.random(n) < WRITE_FRACTION
+
+        code_m = kind < 0.2
+        npages = np.where(
+            code_m, float(self.code.num_pages), float(self.data.num_pages)
+        )
+        page = (page_u * npages).astype(np.int64)
+        np.minimum(page, npages.astype(np.int64) - 1, out=page)
+        base = np.where(code_m, self._base_code, self._base_data)
+        addr = base + page * _PAGE_BYTES + line * _LINE_BYTES
+        write = is_write & ~code_m
+        return AccessBatch(addr, code_m, code_m, write)
+
+    def _sample_reference(self, rng: np.random.Generator, n: int) -> List[Access]:
+        """The original per-element sampling loop (REPRO_MEM_SLOWPATH)."""
         if n <= 0:
             return []
         kind = rng.random(n)

@@ -122,6 +122,71 @@ def test_peek_next_time_after_in_event_cancellation():
     assert sim.peek_next_time() is None
 
 
+def test_pending_live_events_tracks_cancellations():
+    sim = Simulator()
+    a = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    assert sim.pending_live_events == 2
+    a.cancel()
+    a.cancel()  # idempotent: must not double-count
+    assert sim.pending_live_events == 1
+    assert sim.pending_events == 2  # raw heap still holds the dead entry
+    sim.run()
+    assert sim.pending_live_events == 0
+
+
+def test_heavy_cancellation_compacts_heap():
+    """Mass-cancelling deadline timers (a fault storm) triggers in-place
+    heap compaction once dead entries are the majority, instead of
+    dragging them through every subsequent push/pop."""
+    sim = Simulator()
+    handles = [sim.schedule(1000 + i, lambda: None) for i in range(1500)]
+    for h in handles[:1200]:
+        h.cancel()
+    assert sim.pending_live_events == 300
+    # Compaction swept the dead majority out of the raw heap.
+    assert sim.pending_events < 1500
+    assert sim.run() == 300
+
+
+def test_compaction_preserves_firing_order():
+    """Survivors fire in exactly the order they would have without any
+    compaction: (time, seq) keys are untouched by the sweep."""
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(10 * (i % 7), fired.append, i) for i in range(1400)
+    ]
+    expected = [
+        i for i, h in enumerate(handles) if i % 2
+    ]
+    for i, h in enumerate(handles):
+        if i % 2 == 0:
+            h.cancel()
+    sim.run()
+    # Stable by (time, insertion seq): same time bucket keeps index order.
+    assert fired == sorted(expected, key=lambda i: (10 * (i % 7), i))
+
+
+def test_cancellation_during_run_keeps_live_count_consistent():
+    """Events cancelled from within events (and dead entries popped by the
+    run loop) keep the O(1) live-count bookkeeping exact."""
+    sim = Simulator()
+    handles = []
+
+    def cancel_some(k):
+        for h in handles[k:k + 40]:
+            h.cancel()
+
+    for i in range(600):
+        handles.append(sim.schedule(5 + i, lambda: None))
+    for j in range(5):
+        sim.schedule(j, cancel_some, j * 40)
+    sim.run()
+    assert sim.pending_live_events == 0
+    assert sim.pending_events == 0
+
+
 def test_rearm_must_target_now_or_later():
     """Re-arming a timer must target now or later — the engine refuses a
     stale absolute timestamp even for a fresh handle."""

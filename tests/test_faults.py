@@ -197,6 +197,21 @@ def test_faults_without_client_still_terminates():
     assert sim.counters["requests_lost"] > 0
     res = sim.resilience_summary()
     assert res["failed"] == float(sim.counters["requests_lost"])
+    # Drained: only the steady-state periodic events (batch units, agent
+    # tick) survive the finish flag — no backlog of real work.
+    assert sim.sim.pending_live_events <= 8
+
+
+def test_cancelled_retry_timers_are_not_pending_work():
+    """A retry-heavy faulted run leaves a heap full of cancelled deadline
+    timers; ``pending_live_events`` sees through them while
+    ``pending_events`` (raw heap size) does not — the run loop and drain
+    assertions must use the former."""
+    scenario = get_scenario("crash-storm", FAST.horizon_ms)
+    cfg = replace(FAST, faults=scenario.schedule, client=scenario.client)
+    sim = run_server_raw(noharvest(), cfg)
+    assert sim.sim.pending_events > sim.sim.pending_live_events
+    assert sim.sim.pending_live_events <= 8
 
 
 def test_no_faults_leaves_legacy_path_untouched():

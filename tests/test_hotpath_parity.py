@@ -1,0 +1,91 @@
+"""Bit-identity guard for the memory-hierarchy fast path.
+
+The batched fast path (:meth:`CoreMemory.access_batch`, vectorized
+sampling, hashed per-set tag indexes) must reproduce the reference
+per-access implementation *exactly* — every counter, latency percentile,
+and resilience metric.  ``tests/data/golden_hotpath.json`` pins digests
+computed by the reference implementation; these tests hold the fast path
+(the default) and the live slow path (``REPRO_MEM_SLOWPATH=1``) to them.
+
+Regenerate the pins (only when intentionally changing simulation
+behavior) with ``PYTHONPATH=src python tests/_hotpath_golden.py --write``.
+"""
+
+import pytest
+
+from repro.core.experiment import run_server_raw
+from repro.core.presets import hardharvest_block
+from repro.config import SimulationConfig
+from repro.mem.cache import SLOWPATH_ENV
+
+from tests._hotpath_golden import all_cases, case_label, load_golden, run_digest
+
+GOLDEN = load_golden()
+CASES = list(all_cases())
+
+
+@pytest.mark.parametrize(
+    "system_key,seed,faulted",
+    CASES,
+    ids=[case_label(*c) for c in CASES],
+)
+def test_fast_path_matches_golden(system_key, seed, faulted):
+    """Default (fast) path reproduces the pinned reference digests."""
+    assert run_digest(system_key, seed, faulted) == GOLDEN[
+        case_label(system_key, seed, faulted)
+    ]
+
+
+@pytest.mark.parametrize("system_key", ["SW", "HardHarvest"])
+def test_slow_path_matches_golden(system_key, monkeypatch):
+    """The in-tree reference implementation still produces the pins.
+
+    One seed per system keeps this affordable; it guards the *baseline*
+    of ``benchmarks/hotpath_speedup.py`` against silent drift (a speedup
+    measured against a broken reference would be meaningless).
+    """
+    monkeypatch.setenv(SLOWPATH_ENV, "1")
+    assert run_digest(system_key, 0) == GOLDEN[case_label(system_key, 0, False)]
+
+
+def _check_array(arr, label):
+    """The hashed index and valid_mask must mirror the per-way truth."""
+    for set_index, cset in arr.sets.items():
+        expect_mask = 0
+        expect_index = {}
+        for w in range(cset.ways):
+            if cset.valid[w]:
+                expect_mask |= 1 << w
+                expect_index[cset.tags[w]] = expect_index.get(cset.tags[w], 0) | (1 << w)
+        assert cset.valid_mask == expect_mask, f"{label} set {set_index}"
+        assert cset.index == expect_index, f"{label} set {set_index}"
+
+
+def test_index_consistency_after_run():
+    """After a full simulated run every set's hashed index is coherent.
+
+    ``settle()`` first applies any pending lazy way-flushes, then the
+    index/valid_mask mirrors are compared against the per-way arrays —
+    the invariant every fast-path fill/evict/reconcile must preserve.
+    """
+    sim = run_server_raw(
+        hardharvest_block(),
+        SimulationConfig(seed=0, horizon_ms=10.0, warmup_ms=2.0,
+                         accesses_per_segment=8),
+    )
+    arrays = []
+    for core in sim.cores:
+        mem = core.memory
+        arrays += [
+            (mem.l1d.array, f"core{core.core_id}.l1d"),
+            (mem.l1i.array, f"core{core.core_id}.l1i"),
+            (mem.l2.array, f"core{core.core_id}.l2"),
+            (mem.l1_tlb.array, f"core{core.core_id}.l1tlb"),
+            (mem.l2_tlb.array, f"core{core.core_id}.l2tlb"),
+        ]
+    seen = 0
+    for arr, label in arrays:
+        arr.settle()
+        _check_array(arr, label)
+        seen += len(arr.sets)
+    assert seen > 100  # the run genuinely touched the hierarchy

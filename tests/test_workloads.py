@@ -113,7 +113,9 @@ class TestServiceMemory:
     def test_zero_samples(self):
         space = AddressSpace(0)
         mem = ServiceMemory(space, SERVICE_BY_NAME["Text"])
-        assert mem.sample(np.random.default_rng(0), 0, mem.new_invocation()) == []
+        batch = mem.sample(np.random.default_rng(0), 0, mem.new_invocation())
+        assert len(batch) == 0
+        assert list(batch) == []
 
 
 class TestBatchProfiles:
