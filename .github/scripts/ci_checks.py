@@ -1,0 +1,135 @@
+"""Assertions CI runs against ``--stats-json`` / ``--json`` artifacts.
+
+The smoke jobs used to grep human-oriented CLI output ("10 from cache",
+"100% hit rate") — brittle against copy changes and silent about *why* a
+check failed.  Each subcommand here reads the machine-readable stats file
+the CLI writes and asserts the same invariants explicitly:
+
+* ``cache-stats FILE --expect cold|warm`` — a cold run computed every
+  point (zero hits); a warm run served every point from the cache
+  (hit rate 1.0, zero computed).
+* ``digests-equal FILE FILE...`` — every stats file carries the same
+  ``digest`` (the sharding-determinism gate for ``cluster-smoke``).
+* ``fault-counters FILE`` — the exported fault-scenario JSON carries
+  sane degradation counters for every system.
+
+Exit code 0 on success; 1 with a diagnostic on the first violated
+invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_cache_stats(args: argparse.Namespace) -> int:
+    stats = _load(args.file)
+    cache = stats.get("cache")
+    if cache is None:
+        return _fail(f"{args.file}: run recorded no cache statistics")
+    if args.expect == "cold":
+        if cache["hits"] != 0:
+            return _fail(f"cold run had {cache['hits']} cache hit(s): {cache}")
+        if stats.get("computed", stats.get("points")) in (0, None):
+            return _fail(f"cold run computed nothing: {stats}")
+    else:  # warm
+        if cache["hit_rate"] != 1.0:
+            return _fail(
+                f"warm run hit rate {cache['hit_rate']}, wanted 1.0: {cache}"
+            )
+        if stats.get("computed", 0) != 0:
+            return _fail(
+                f"warm run recomputed {stats['computed']} point(s): {stats}"
+            )
+        if stats.get("from_cache", 0) == 0 and "from_cache" in stats:
+            return _fail(f"warm run served nothing from cache: {stats}")
+    print(f"OK [{args.expect}] {args.file}: {cache}")
+    return 0
+
+
+def check_digests_equal(args: argparse.Namespace) -> int:
+    digests = {}
+    for path in args.files:
+        stats = _load(path)
+        digest = stats.get("digest")
+        if not digest:
+            return _fail(f"{path}: no digest recorded")
+        digests[path] = digest
+    values = set(digests.values())
+    if len(values) != 1:
+        lines = "\n".join(f"  {p}: {d}" for p, d in digests.items())
+        return _fail(f"digests differ across runs:\n{lines}")
+    print(f"OK: {len(digests)} run(s) share digest {values.pop()}")
+    return 0
+
+
+def check_fault_counters(args: argparse.Namespace) -> int:
+    results = _load(args.file)
+    expected = set(args.systems.split(",")) if args.systems else None
+    if expected is not None and set(results) != expected:
+        return _fail(f"systems {sorted(results)} != expected {sorted(expected)}")
+    for name, result in results.items():
+        res = result["resilience"]
+        if res["retry_amplification"] < 1.0:
+            return _fail(f"{name}: retry_amplification {res} < 1.0")
+        if not 0.0 < res["goodput"] <= 1.0:
+            return _fail(f"{name}: goodput out of range: {res}")
+        if res["retries"] <= 0:
+            return _fail(f"{name}: no retries recorded: {res}")
+        counters = result["counters"]
+        if counters.get("faults_crashes") != args.crashes:
+            return _fail(
+                f"{name}: faults_crashes {counters.get('faults_crashes')} "
+                f"!= {args.crashes}"
+            )
+        if counters.get("faults_restarts") != args.crashes:
+            return _fail(
+                f"{name}: faults_restarts {counters.get('faults_restarts')} "
+                f"!= {args.crashes}"
+            )
+    print("fault counters OK:",
+          {n: r["resilience"]["goodput"] for n, r in results.items()})
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cache-stats", help="assert cold/warm cache behavior")
+    p.add_argument("file")
+    p.add_argument("--expect", choices=["cold", "warm"], required=True)
+    p.set_defaults(func=check_cache_stats)
+
+    p = sub.add_parser("digests-equal",
+                       help="assert all stats files share one digest")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=check_digests_equal)
+
+    p = sub.add_parser("fault-counters",
+                       help="assert degradation counters in faults JSON")
+    p.add_argument("file")
+    p.add_argument("--systems", default="NoHarvest,HardHarvest-Block",
+                   help="comma-separated expected system names")
+    p.add_argument("--crashes", type=int, default=3,
+                   help="expected crash/restart count per system")
+    p.set_defaults(func=check_fault_counters)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,20 +125,132 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_stats_json(path: str, payload: dict) -> None:
+    """Machine-checkable run statistics (the CI smoke's assertion input)."""
+    import json
+
+    from repro.core.ioutil import atomic_open
+
+    with atomic_open(path) as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote run stats to {path}")
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     kind = next((k for k in SystemKind if k.value == args.system), None)
     if kind is None:
         print(f"unknown system {args.system!r}", file=sys.stderr)
         return 2
+    system = build_system(kind)
+    scale_mode = (
+        args.requests is not None
+        or args.routing is not None
+        or args.epochs > 1
+        or args.workers > 1
+        or args.harvest_base is not None
+        or args.json is not None
+        or args.csv is not None
+        or args.stats_json is not None
+    )
+    if not scale_mode:
+        simcfg = replace(_sim_config(args), servers_to_simulate=args.servers)
+        result = run_cluster(system, simcfg)
+        print(f"=== {args.system} across {args.servers} servers")
+        for server in result.servers:
+            print(f"  [{server.batch_job:10s}] P99 {server.avg_p99_ms():6.2f} ms | "
+                  f"busy {server.avg_busy_cores:5.1f} | "
+                  f"batch {server.batch_units_per_s:7.0f} u/s")
+        print(f"  cluster avg P99 {result.avg_p99_ms():.2f} ms, "
+              f"busy {result.avg_busy_cores():.1f}")
+        return 0
+
+    # ------------------------------------------------------------------
+    # Sharded cluster-scale path (repro.cluster_scale).
+    # ------------------------------------------------------------------
+    from repro.analysis.report import format_cluster_scale_report
+    from repro.cluster_scale import (
+        ROUTING_POLICY_NAMES,
+        ClusterScaleConfig,
+        RoutingPolicy,
+        run_cluster_scale,
+    )
+    from repro.core.export import write_cluster_scale_csv, write_cluster_scale_json
+    from repro.parallel import DeterminismError, ResultCache, SweepError
+
+    routing_name = args.routing or RoutingPolicy.ROUND_ROBIN.value
+    if routing_name not in ROUTING_POLICY_NAMES:
+        print(f"unknown routing policy {routing_name!r}; choose from "
+              f"{list(ROUTING_POLICY_NAMES)}", file=sys.stderr)
+        return 2
+    if args.harvest_base is not None:
+        system = replace(
+            system,
+            cluster=replace(
+                system.cluster, harvest_vm_base_cores=args.harvest_base
+            ),
+        )
     simcfg = replace(_sim_config(args), servers_to_simulate=args.servers)
-    result = run_cluster(build_system(kind), simcfg)
-    print(f"=== {args.system} across {args.servers} servers")
-    for server in result.servers:
-        print(f"  [{server.batch_job:10s}] P99 {server.avg_p99_ms():6.2f} ms | "
-              f"busy {server.avg_busy_cores:5.1f} | "
-              f"batch {server.batch_units_per_s:7.0f} u/s")
-    print(f"  cluster avg P99 {result.avg_p99_ms():.2f} ms, "
-          f"busy {result.avg_busy_cores():.1f}")
+    try:
+        cfg = ClusterScaleConfig(
+            servers=args.servers,
+            requests=args.requests,
+            epochs=args.epochs,
+            epoch_ms=args.horizon_ms,
+            warmup_ms=simcfg.warmup_ms,
+            routing=RoutingPolicy(routing_name),
+            rebalance=not args.no_rebalance,
+            harvest_min_cores=args.harvest_min,
+            harvest_max_cores=args.harvest_max,
+        )
+    except ValueError as exc:
+        print(f"bad cluster configuration: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    try:
+        result = run_cluster_scale(
+            system,
+            simcfg,
+            cfg,
+            workers=args.workers,
+            cache=cache,
+            task_timeout=args.task_timeout,
+            progress=lambda msg: print(f"[cluster] {msg}", flush=True),
+        )
+    except (SweepError, DeterminismError) as exc:
+        print(f"cluster run failed: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"bad cluster configuration: {exc}", file=sys.stderr)
+        return 2
+    print(format_cluster_scale_report(result))
+    print(f"\n{cfg.servers * cfg.epochs} server-epoch(s) in "
+          f"{result.elapsed_s:.1f}s with {args.workers} worker(s)")
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache [{args.cache_dir}]: {stats.hits} hit(s), "
+              f"{stats.misses} miss(es) "
+              f"({stats.hit_rate() * 100:.0f}% hit rate)")
+    if args.json:
+        write_cluster_scale_json(args.json, result)
+        print(f"wrote JSON results to {args.json}")
+    if args.csv:
+        write_cluster_scale_csv(args.csv, result)
+        print(f"wrote CSV results to {args.csv}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            "digest": result.digest(),
+            "system": result.system,
+            "servers": result.servers,
+            "epochs": len(result.epochs),
+            "routing": cfg.routing.value,
+            "requests_routed": cfg.requests,
+            "requests_measured": result.requests_measured(),
+            "requests_arrived": result.requests_arrived(),
+            "rebalance_moves": result.total_rebalance_moves(),
+            "workers": args.workers,
+            "elapsed_s": result.elapsed_s,
+            "cache": cache.stats.as_dict() if cache is not None else None,
+        })
     return 0
 
 
@@ -203,6 +315,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         write_sweep_csv(args.csv, outcome.results)
         print(f"wrote CSV results to {args.csv}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            "points": spec.size(),
+            "computed": outcome.computed,
+            "from_cache": outcome.from_cache,
+            "retried": outcome.retried,
+            "workers": args.workers,
+            "elapsed_s": outcome.elapsed_s,
+            "cache": cache.stats.as_dict() if cache is not None else None,
+        })
     return 0
 
 
@@ -281,6 +403,16 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.json:
         write_sweep_json(args.json, results)
         print(f"wrote JSON results to {args.json}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            "points": len(points),
+            "computed": outcome.computed,
+            "from_cache": outcome.from_cache,
+            "retried": outcome.retried,
+            "workers": args.workers,
+            "elapsed_s": outcome.elapsed_s,
+            "cache": cache.stats.as_dict() if cache is not None else None,
+        })
     return 0
 
 
@@ -374,10 +506,46 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
-    p_cl = sub.add_parser("cluster", help="multi-server run")
+    p_cl = sub.add_parser(
+        "cluster",
+        help="multi-server run; --requests/--routing/--workers engage the "
+             "sharded cluster-scale layer (repro.cluster_scale)",
+    )
     p_cl.add_argument("--system", default="HardHarvest-Block",
                       choices=SYSTEM_NAMES)
     p_cl.add_argument("--servers", type=int, default=8)
+    p_cl.add_argument("--requests", type=int, default=None,
+                      help="total requests the front-end routes across the "
+                           "cluster (default: nominal per-server load)")
+    p_cl.add_argument("--workers", type=int, default=1,
+                      help="process-pool shards per epoch (1 = serial; "
+                           "results are bit-identical either way)")
+    p_cl.add_argument("--routing", default=None,
+                      help="round-robin | least-loaded | p2c "
+                           "(default round-robin)")
+    p_cl.add_argument("--epochs", type=int, default=1,
+                      help="barrier-separated simulation rounds (routing "
+                           "feedback + harvest rebalancing exchange)")
+    p_cl.add_argument("--no-rebalance", action="store_true",
+                      help="disable inter-server harvest rebalancing")
+    p_cl.add_argument("--harvest-base", type=int, default=None,
+                      help="starting harvest-VM base cores per server "
+                           "(default: the system preset's value)")
+    p_cl.add_argument("--harvest-min", type=int, default=1,
+                      help="rebalancer lower bound on harvest cores")
+    p_cl.add_argument("--harvest-max", type=int, default=4,
+                      help="rebalancer upper bound on harvest cores")
+    p_cl.add_argument("--no-cache", action="store_true",
+                      help="recompute every point; do not touch the cache")
+    p_cl.add_argument("--cache-dir", default=".repro_cache",
+                      help="result cache directory (default .repro_cache)")
+    p_cl.add_argument("--task-timeout", type=float, default=None,
+                      help="per-point timeout in seconds (default: none)")
+    p_cl.add_argument("--json", default=None, help="write results JSON here")
+    p_cl.add_argument("--csv", default=None, help="write results CSV here")
+    p_cl.add_argument("--stats-json", default=None,
+                      help="write digest + run statistics JSON here "
+                           "(the CI determinism smoke's input)")
     common(p_cl)
     p_cl.set_defaults(func=cmd_cluster)
 
@@ -400,6 +568,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="recompute cache hits and assert bit-identical")
     p_sw.add_argument("--json", default=None, help="write results JSON here")
     p_sw.add_argument("--csv", default=None, help="write results CSV here")
+    p_sw.add_argument("--stats-json", default=None,
+                      help="write run/cache statistics JSON here (what CI "
+                           "asserts on instead of grepping stdout)")
     common(p_sw)
     p_sw.set_defaults(func=cmd_sweep)
 
@@ -419,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ft.add_argument("--cache-dir", default=".repro_cache",
                       help="result cache directory (default .repro_cache)")
     p_ft.add_argument("--json", default=None, help="write results JSON here")
+    p_ft.add_argument("--stats-json", default=None,
+                      help="write run/cache statistics JSON here (what CI "
+                           "asserts on instead of grepping stdout)")
     common(p_ft)
     p_ft.set_defaults(func=cmd_faults)
 

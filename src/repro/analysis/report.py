@@ -115,3 +115,62 @@ def format_sweep_table(
         title, SWEEP_COLUMNS, sweep_aggregate(samples), unit=unit,
         precision=precision,
     )
+
+
+CLUSTER_SCALE_COLUMNS = (
+    "requests",
+    "p99_ms",
+    "p50_ms",
+    "busy",
+    "batch_u/s",
+    "imbal",
+    "moves",
+)
+
+
+def format_cluster_scale_report(result) -> str:
+    """Epoch-by-epoch view of a sharded cluster-scale run.
+
+    One row per epoch (measured requests, request-weighted latency,
+    mean busy cores, cluster batch throughput, routing cost imbalance,
+    rebalance moves) plus the merged cluster summary and the run digest —
+    the value the determinism smoke compares across worker counts.
+    """
+    rows: Dict[str, List[float]] = {}
+    for epoch in result.epochs:
+        servers = epoch.cluster.servers
+        measured = epoch.requests_measured()
+        weighted_p99 = weighted_p50 = 0.0
+        for server in servers:
+            w = server.counters.get("requests_measured", 0)
+            if w:
+                weighted_p99 += server.avg_p99_ms() * w
+                weighted_p50 += server.avg_p50_ms() * w
+        rows[f"epoch {epoch.epoch}"] = [
+            float(measured),
+            weighted_p99 / measured if measured else 0.0,
+            weighted_p50 / measured if measured else 0.0,
+            epoch.cluster.avg_busy_cores(),
+            sum(s.batch_units_per_s for s in servers),
+            epoch.routing["imbalance"] if epoch.routing else 1.0,
+            float(len(epoch.rebalance["moves"])) if epoch.rebalance else 0.0,
+        ]
+    summary = result.summary_dict()
+    lines = [
+        format_table(
+            f"{result.system} across {result.servers} server(s), "
+            f"{len(result.epochs)} epoch(s)",
+            CLUSTER_SCALE_COLUMNS,
+            rows,
+        ),
+        "",
+        f"cluster: {summary['requests_measured']} measured "
+        f"({summary['requests_arrived']} simulated) requests | "
+        f"P99 {summary['avg_p99_ms']:.2f} ms | "
+        f"P50 {summary['avg_p50_ms']:.2f} ms | "
+        f"busy {summary['avg_busy_cores']:.1f} cores | "
+        f"batch {summary['batch_units_per_s']:.0f} u/s | "
+        f"{summary['rebalance_moves']} harvest core move(s)",
+        f"digest: {result.digest()}",
+    ]
+    return "\n".join(lines)

@@ -57,7 +57,7 @@ from repro.mem.cache import slowpath_enabled
 from repro.mem.dram import DramModel
 from repro.mem.hierarchy import CoreMemory, build_llc
 from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_server_seed
 from repro.sim.stats import (
     BreakdownRecorder,
     Counter,
@@ -98,7 +98,7 @@ class ServerSimulation:
         self.simcfg = simcfg
         self.server_index = server_index
         self.sim = Simulator()
-        self.rng = RngRegistry(simcfg.seed + 7919 * server_index)
+        self.rng = RngRegistry(derive_server_seed(simcfg.seed, server_index))
         self.costs = CostModel(system)
         self.dram = DramModel(system.hierarchy.memory)
         self.nic = Nic()
@@ -326,6 +326,10 @@ class ServerSimulation:
                     self.client.register(req, exec_ns, ios)
                 self.sim.schedule_at(t, self._arrival, vm, req)
                 self._target_completions += 1
+        #: Cluster-scale accounting: every pre-drawn arrival is simulated
+        #: (warmup included), so this is the honest "requests simulated"
+        #: figure a sharded run sums across servers and epochs.
+        self.counters.incr("requests_arrived", req_id)
         #: Continuation of the pre-drawn id space for retry/hedge attempts.
         self._next_req_id = req_id
 
@@ -718,12 +722,14 @@ class ServerSimulation:
                     self.latency[vm.name].record(lat)
                     self.latency_all.record(lat)
                     self.breakdowns.record(vm.name, req.breakdown)
+                    self.counters.incr("requests_measured")
             else:
                 if req.measured:
                     lat = req.latency_ns()
                     self.latency[vm.name].record(lat)
                     self.latency_all.record(lat)
                     self.breakdowns.record(vm.name, req.breakdown)
+                    self.counters.incr("requests_measured")
                 self._logical_resolved()
             self._core_released(core, "term")
 

@@ -1,0 +1,61 @@
+"""Sharded cluster-scale simulation: hundreds of servers, millions of
+requests, bit-identical at any worker count.
+
+The paper evaluates 8 servers x 36 cores; this layer goes far past it by
+treating the datacenter as one coordinated system (Gan & Delimitrou;
+Reclaimer): a deterministic front-end routes requests across servers
+(round-robin / least-loaded / power-of-two-choices), servers are sharded
+over worker processes through the chunked sweep executor, and harvest
+capacity is rebalanced between servers at epoch barriers.
+
+Quick start::
+
+    from repro import SystemKind, SimulationConfig, build_system
+    from repro.cluster_scale import ClusterScaleConfig, RoutingPolicy, run_cluster_scale
+
+    result = run_cluster_scale(
+        build_system(SystemKind.HARDHARVEST_BLOCK),
+        SimulationConfig(accesses_per_segment=6),
+        ClusterScaleConfig(servers=32, requests=200_000, epochs=2,
+                           routing=RoutingPolicy.POWER_OF_TWO),
+        workers=8,
+    )
+    print(result.summary_dict(), result.digest())
+
+CLI: ``python -m repro cluster --servers 128 --requests 1000000
+--workers 8 --routing p2c --epochs 3``.
+"""
+
+from repro.cluster_scale.rebalance import RebalanceDecision, rebalance_harvest
+from repro.cluster_scale.result import ClusterScaleResult, EpochResult
+from repro.cluster_scale.routing import (
+    EpochRouting,
+    ServiceMix,
+    expected_server_rps,
+    route_epoch,
+    routing_rng,
+    service_mix,
+)
+from repro.cluster_scale.runner import run_cluster_scale
+from repro.cluster_scale.spec import (
+    ROUTING_POLICY_NAMES,
+    ClusterScaleConfig,
+    RoutingPolicy,
+)
+
+__all__ = [
+    "ClusterScaleConfig",
+    "ClusterScaleResult",
+    "EpochResult",
+    "EpochRouting",
+    "RebalanceDecision",
+    "RoutingPolicy",
+    "ROUTING_POLICY_NAMES",
+    "ServiceMix",
+    "expected_server_rps",
+    "rebalance_harvest",
+    "route_epoch",
+    "routing_rng",
+    "run_cluster_scale",
+    "service_mix",
+]

@@ -1,0 +1,88 @@
+"""Epoch-barrier inter-server harvest rebalancing.
+
+Reclaimer-style cluster allocation (arXiv 2304.07941) framed for this
+simulator: the datacenter controls *where batch capacity lives* by moving
+Harvest-VM base cores between servers at epoch boundaries.  A server that
+ended the epoch hot (high core utilization) sheds a batch core — its
+Primary VMs stop competing with batch work for DRAM bandwidth and LLC —
+while a cold server picks it up, so cluster-wide batch throughput is
+preserved instead of being throttled everywhere.
+
+The algorithm is deliberately simple and *deterministic*: a greedy
+hottest-to-coldest pairing over the epoch's merged utilization signal,
+integer core moves, ties broken by server index, bounded per epoch.  It
+runs in the coordinator on barrier-merged results, so worker count and
+shard layout cannot perturb it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class RebalanceDecision:
+    """One epoch barrier's outcome."""
+
+    #: (source server, destination server) per moved core.
+    moves: List[Tuple[int, int]]
+    #: Post-move allocation of harvest base cores per server.
+    alloc: List[int]
+
+    def to_dict(self) -> dict:
+        return {
+            "moves": [[int(a), int(b)] for a, b in self.moves],
+            "alloc": [int(a) for a in self.alloc],
+        }
+
+
+def rebalance_harvest(
+    alloc: Sequence[int],
+    utilization: Sequence[float],
+    cores_per_server: int,
+    min_cores: int,
+    max_cores: int,
+    threshold: float,
+    max_moves: int,
+) -> RebalanceDecision:
+    """Move harvest base cores from hot servers to cold ones.
+
+    ``utilization`` is the epoch's measured busy-core fraction per server.
+    While the gap between the hottest donor (``alloc > min_cores``) and the
+    coldest receiver (``alloc < max_cores``) exceeds ``threshold``, one
+    core moves and the signal is adjusted by one core's worth
+    (``1 / cores_per_server``) so repeated moves converge instead of
+    ping-ponging.  Total allocated cores are conserved.
+    """
+    if len(alloc) != len(utilization):
+        raise ValueError(
+            f"alloc ({len(alloc)}) and utilization ({len(utilization)}) "
+            "must have one entry per server"
+        )
+    new_alloc = [int(a) for a in alloc]
+    signal = [float(u) for u in utilization]
+    moves: List[Tuple[int, int]] = []
+    step = 1.0 / cores_per_server
+    for _ in range(max_moves):
+        donor = -1
+        receiver = -1
+        for i in range(len(new_alloc)):
+            if new_alloc[i] > min_cores and (
+                donor < 0 or signal[i] > signal[donor]
+            ):
+                donor = i
+            if new_alloc[i] < max_cores and (
+                receiver < 0 or signal[i] < signal[receiver]
+            ):
+                receiver = i
+        if donor < 0 or receiver < 0 or donor == receiver:
+            break
+        if signal[donor] - signal[receiver] <= threshold:
+            break
+        new_alloc[donor] -= 1
+        new_alloc[receiver] += 1
+        signal[donor] -= step
+        signal[receiver] += step
+        moves.append((donor, receiver))
+    return RebalanceDecision(moves=moves, alloc=new_alloc)

@@ -1,0 +1,210 @@
+"""Cluster-scale result containers, deterministic merge, and digests.
+
+A sharded run produces one :class:`~repro.core.metrics.ClusterResult` per
+epoch (threading the existing per-server containers through unchanged)
+plus the datacenter-layer record: routing statistics, rebalance decisions,
+and the harvest allocation that produced each epoch.  The merge is a pure
+reduction in (epoch, server) order, so its output — and therefore
+:meth:`ClusterScaleResult.digest` — is bit-identical no matter how many
+workers computed the shards.  The digest deliberately covers *only*
+simulation content (never wall time or worker count); it is the value the
+CI ``cluster-smoke`` job compares across ``--workers 1`` and
+``--workers 4``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.export import server_result_from_dict, server_result_to_dict
+from repro.core.metrics import ClusterResult
+from repro.parallel.cache import canonical_json
+
+
+@dataclass
+class EpochResult:
+    """One epoch of a cluster-scale run."""
+
+    epoch: int
+    #: Root seed this epoch's servers derived their streams from.
+    seed: int
+    #: Harvest-VM base cores each server ran with this epoch.
+    harvest_alloc: List[int]
+    #: Per-server load multiplier the routing layer assigned.
+    load_scale: List[float]
+    #: Routing statistics (None in nominal mode).
+    routing: Optional[dict]
+    #: Rebalance decision taken at this epoch's closing barrier
+    #: (None when rebalancing is off or this is the last epoch).
+    rebalance: Optional[dict]
+    #: The per-server results, in server order.
+    cluster: ClusterResult
+
+    def requests_measured(self) -> int:
+        return sum(
+            s.counters.get("requests_measured", 0) for s in self.cluster.servers
+        )
+
+    def requests_arrived(self) -> int:
+        return sum(
+            s.counters.get("requests_arrived", 0) for s in self.cluster.servers
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "seed": self.seed,
+            "harvest_alloc": [int(a) for a in self.harvest_alloc],
+            "load_scale": [float(x) for x in self.load_scale],
+            "routing": self.routing,
+            "rebalance": self.rebalance,
+            "system": self.cluster.system,
+            "servers": [server_result_to_dict(s) for s in self.cluster.servers],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EpochResult":
+        return EpochResult(
+            epoch=data["epoch"],
+            seed=data["seed"],
+            harvest_alloc=list(data["harvest_alloc"]),
+            load_scale=list(data["load_scale"]),
+            routing=data["routing"],
+            rebalance=data["rebalance"],
+            cluster=ClusterResult(
+                system=data["system"],
+                servers=[server_result_from_dict(s) for s in data["servers"]],
+            ),
+        )
+
+
+@dataclass
+class ClusterScaleResult:
+    """Everything a sharded cluster-scale run produced."""
+
+    system: str
+    servers: int
+    epochs: List[EpochResult] = field(default_factory=list)
+    #: Wall-clock of the whole run.  Excluded from :meth:`to_dict` and the
+    #: digest — timing lives in benchmark records, not in results.
+    elapsed_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Deterministic reductions (epoch order, then server order).
+    # ------------------------------------------------------------------
+    def requests_measured(self) -> int:
+        return sum(e.requests_measured() for e in self.epochs)
+
+    def requests_arrived(self) -> int:
+        return sum(e.requests_arrived() for e in self.epochs)
+
+    def _server_results(self):
+        for epoch in self.epochs:
+            for server in epoch.cluster.servers:
+                yield server
+
+    def avg_p99_ms(self) -> float:
+        """Request-weighted mean of per-server average P99s."""
+        total = 0.0
+        weight = 0
+        for server in self._server_results():
+            w = server.counters.get("requests_measured", 0)
+            if w:
+                total += server.avg_p99_ms() * w
+                weight += w
+        if not weight:
+            raise ValueError("no measured requests to aggregate")
+        return total / weight
+
+    def avg_p50_ms(self) -> float:
+        total = 0.0
+        weight = 0
+        for server in self._server_results():
+            w = server.counters.get("requests_measured", 0)
+            if w:
+                total += server.avg_p50_ms() * w
+                weight += w
+        if not weight:
+            raise ValueError("no measured requests to aggregate")
+        return total / weight
+
+    def avg_busy_cores(self) -> float:
+        servers = list(self._server_results())
+        if not servers:
+            raise ValueError("no servers to aggregate")
+        return sum(s.avg_busy_cores for s in servers) / len(servers)
+
+    def batch_units_per_s(self) -> float:
+        """Cluster-wide batch throughput: summed over servers, averaged
+        over epochs."""
+        if not self.epochs:
+            raise ValueError("no epochs to aggregate")
+        per_epoch = [
+            sum(s.batch_units_per_s for s in e.cluster.servers)
+            for e in self.epochs
+        ]
+        return sum(per_epoch) / len(per_epoch)
+
+    def p99_by_service(self) -> Dict[str, float]:
+        """Request-weighted per-service P99 across all server-epochs."""
+        totals: Dict[str, float] = {}
+        weights: Dict[str, int] = {}
+        for server in self._server_results():
+            w = server.counters.get("requests_measured", 0)
+            if not w:
+                continue
+            for svc, p99 in server.p99_ms.items():
+                totals[svc] = totals.get(svc, 0.0) + p99 * w
+                weights[svc] = weights.get(svc, 0) + w
+        return {svc: totals[svc] / weights[svc] for svc in totals}
+
+    def total_rebalance_moves(self) -> int:
+        return sum(
+            len(e.rebalance["moves"])
+            for e in self.epochs
+            if e.rebalance is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization + digest.
+    # ------------------------------------------------------------------
+    def summary_dict(self) -> dict:
+        """The headline numbers (digest-stable, human-consumable)."""
+        return {
+            "requests_measured": self.requests_measured(),
+            "requests_arrived": self.requests_arrived(),
+            "avg_p99_ms": self.avg_p99_ms(),
+            "avg_p50_ms": self.avg_p50_ms(),
+            "avg_busy_cores": self.avg_busy_cores(),
+            "batch_units_per_s": self.batch_units_per_s(),
+            "p99_by_service": self.p99_by_service(),
+            "rebalance_moves": self.total_rebalance_moves(),
+        }
+
+    def to_dict(self) -> dict:
+        """Lossless encoding; excludes wall time by design (see class doc)."""
+        return {
+            "system": self.system,
+            "servers": self.servers,
+            "epochs": [e.to_dict() for e in self.epochs],
+            "summary": self.summary_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ClusterScaleResult":
+        return ClusterScaleResult(
+            system=data["system"],
+            servers=data["servers"],
+            epochs=[EpochResult.from_dict(e) for e in data["epochs"]],
+        )
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON of :meth:`to_dict`.
+
+        Two runs of the same configuration must produce the same digest
+        regardless of worker count — the sharding determinism contract.
+        """
+        payload = canonical_json(self.to_dict())
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

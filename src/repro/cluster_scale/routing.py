@@ -1,0 +1,165 @@
+"""Deterministic datacenter request routing.
+
+The front-end routes one epoch's requests across the cluster's servers.
+Each routed request carries a *service class* drawn from the workload mix
+(probability proportional to each service's expected arrival rate) and an
+estimated cost (mean CPU plus backend demand), so cost-aware policies
+(least-loaded, power-of-two-choices) genuinely balance *work* while
+round-robin only balances *counts* — the difference shows up as the
+``imbalance`` statistic and, downstream, in per-server load.
+
+Determinism: all randomness comes from a ``numpy`` generator seeded by
+``(root seed, epoch)`` via :func:`routing_rng`; sequential policies break
+ties by server index.  Worker count never enters: routing happens in the
+coordinator before any shard is dispatched.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster_scale.spec import RoutingPolicy
+from repro.config import ClusterConfig
+from repro.workloads.loadgen import expected_rps
+from repro.workloads.microservices import ServiceProfile
+
+
+def routing_rng(root_seed: int, epoch: int) -> np.random.Generator:
+    """The routing stream for one epoch: pure function of (seed, epoch)."""
+    seq = np.random.SeedSequence(
+        entropy=root_seed,
+        spawn_key=(zlib.crc32(b"cluster_scale.routing"), epoch),
+    )
+    return np.random.default_rng(seq)
+
+
+@dataclass(frozen=True)
+class ServiceMix:
+    """The request population the front-end sees: class probabilities and
+    per-class mean cost (µs of CPU + backend demand)."""
+
+    names: Tuple[str, ...]
+    probabilities: np.ndarray  # sums to 1
+    costs_us: np.ndarray
+
+    @property
+    def mean_cost_us(self) -> float:
+        return float(np.dot(self.probabilities, self.costs_us))
+
+
+def service_mix(
+    profiles: Sequence[ServiceProfile], cluster: ClusterConfig
+) -> ServiceMix:
+    """Class mix implied by the per-service expected arrival rates."""
+    rates = np.array(
+        [expected_rps(p, cluster.cores_per_primary_vm) for p in profiles],
+        dtype=float,
+    )
+    costs = np.array(
+        [p.mean_exec_us + p.blocking_calls * p.io_us for p in profiles],
+        dtype=float,
+    )
+    return ServiceMix(
+        names=tuple(p.name for p in profiles),
+        probabilities=rates / rates.sum(),
+        costs_us=costs,
+    )
+
+
+def expected_server_rps(
+    profiles: Sequence[ServiceProfile], cluster: ClusterConfig
+) -> float:
+    """Expected arrivals/s of one server at ``load_scale = 1``."""
+    return sum(expected_rps(p, cluster.cores_per_primary_vm) for p in profiles)
+
+
+@dataclass
+class EpochRouting:
+    """Where one epoch's requests went."""
+
+    policy: RoutingPolicy
+    #: Requests assigned to each server.
+    counts: np.ndarray
+    #: Estimated work (µs) assigned to each server.
+    cost_us: np.ndarray
+    #: max/mean of per-server assigned cost — 1.0 is a perfect balance.
+    imbalance: float
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy.value,
+            "counts": [int(c) for c in self.counts],
+            "cost_us": [round(float(c), 3) for c in self.cost_us],
+            "imbalance": round(float(self.imbalance), 6),
+        }
+
+
+def route_epoch(
+    policy: RoutingPolicy,
+    rng: np.random.Generator,
+    num_servers: int,
+    num_requests: int,
+    mix: ServiceMix,
+    carryover_us: np.ndarray,
+) -> EpochRouting:
+    """Assign one epoch's requests to servers under ``policy``.
+
+    ``carryover_us`` seeds each server's estimated outstanding work with
+    the previous epoch's measured pressure (zeros for epoch 0), so the
+    balancing policies route *around* servers that ended the last epoch
+    hot — the feedback loop exchanged at the shard barrier.
+    """
+    if num_requests < 0:
+        raise ValueError(f"num_requests must be non-negative, got {num_requests}")
+    classes = rng.integers(0, len(mix.names), size=0)  # placeholder dtype
+    if num_requests:
+        classes = rng.choice(
+            len(mix.names), size=num_requests, p=mix.probabilities
+        )
+    costs = mix.costs_us[classes] if num_requests else np.zeros(0)
+
+    counts = np.zeros(num_servers, dtype=np.int64)
+    assigned = np.zeros(num_servers, dtype=float)
+
+    if policy is RoutingPolicy.ROUND_ROBIN:
+        if num_requests:
+            idx = np.arange(num_requests) % num_servers
+            counts = np.bincount(idx, minlength=num_servers).astype(np.int64)
+            assigned = np.bincount(idx, weights=costs, minlength=num_servers)
+    elif policy is RoutingPolicy.LEAST_LOADED:
+        heap: List[Tuple[float, int]] = [
+            (float(carryover_us[i]), i) for i in range(num_servers)
+        ]
+        heapq.heapify(heap)
+        for cost in costs:
+            load, i = heapq.heappop(heap)
+            counts[i] += 1
+            assigned[i] += cost
+            heapq.heappush(heap, (load + float(cost), i))
+    elif policy is RoutingPolicy.POWER_OF_TWO:
+        load = carryover_us.astype(float).copy()
+        if num_requests:
+            cand = rng.integers(0, num_servers, size=(num_requests, 2))
+            for k in range(num_requests):
+                a, b = int(cand[k, 0]), int(cand[k, 1])
+                # Less-loaded candidate wins; ties to the lower index.
+                if (load[b], b) < (load[a], a):
+                    a = b
+                counts[a] += 1
+                cost = float(costs[k])
+                assigned[a] += cost
+                load[a] += cost
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown routing policy {policy!r}")
+
+    total = float(assigned.sum())
+    mean = total / num_servers if num_servers else 0.0
+    imbalance = float(assigned.max() / mean) if mean > 0 else 1.0
+    return EpochRouting(
+        policy=policy, counts=counts, cost_us=assigned, imbalance=imbalance
+    )

@@ -1,0 +1,229 @@
+"""The sharded cluster-scale run loop.
+
+One run is a sequence of epochs; one epoch is an embarrassingly-parallel
+fan-out of per-server simulations over the process pool (the same chunked
+:func:`~repro.parallel.runner.execute_payload_chunk` executor the sweep
+runner uses), closed by a cluster-wide barrier where the coordinator:
+
+1. merges the epoch's per-server results *in server order*;
+2. computes the utilization signal and lets the harvest rebalancer move
+   batch capacity between servers (:mod:`repro.cluster_scale.rebalance`);
+3. routes the next epoch's requests with the balancing policy's feedback
+   (:mod:`repro.cluster_scale.routing`).
+
+Because steps 1-3 are pure functions of (root seed, epoch, merged
+results) and every per-server simulation is a pure function of its
+serialized config, the whole run is bit-identical for any ``--workers``
+value — the same contract the sweep cache enforces, extended across
+barriers.
+
+The epoch-0 degenerate case (one epoch, nominal load, no rebalancing)
+reproduces the legacy :func:`repro.core.experiment.run_cluster` results
+exactly: epoch seed 0 is the identity and the per-server points carry the
+same payloads, so even the result cache keys coincide.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster_scale.rebalance import rebalance_harvest
+from repro.cluster_scale.result import ClusterScaleResult, EpochResult
+from repro.cluster_scale.routing import (
+    EpochRouting,
+    expected_server_rps,
+    route_epoch,
+    routing_rng,
+    service_mix,
+)
+from repro.cluster_scale.spec import ClusterScaleConfig
+from repro.config import SimulationConfig, SystemConfig
+from repro.core.metrics import ClusterResult
+from repro.sim.rng import derive_epoch_seed
+from repro.workloads.batch import BATCH_JOBS, BatchJobProfile
+from repro.workloads.suites import get_suite
+
+
+def _validate(system: SystemConfig, cfg: ClusterScaleConfig) -> None:
+    cluster = system.cluster
+    primary = cluster.primary_vms_per_server * cluster.cores_per_primary_vm
+    need = primary + cluster.harvest_vms_per_server * cfg.harvest_max_cores
+    if need > cluster.cores_per_server:
+        raise ValueError(
+            f"harvest_max_cores={cfg.harvest_max_cores} needs {need} cores "
+            f"but servers have {cluster.cores_per_server}"
+        )
+
+
+def _epoch_points(
+    system: SystemConfig,
+    sim: SimulationConfig,
+    cfg: ClusterScaleConfig,
+    epoch: int,
+    alloc: Sequence[int],
+    load_scale: Sequence[Optional[float]],
+    jobs: Sequence[BatchJobProfile],
+):
+    """One fully-specified SweepPoint per server for this epoch.
+
+    Mirrors :func:`repro.core.experiment._cluster_points` semantics
+    (batch job ``i mod len(jobs)``, ``server_index=i``) so the degenerate
+    configuration produces byte-identical payloads to the legacy path.
+    """
+    from repro.parallel.sweep import SweepPoint
+
+    base_cores = system.cluster.harvest_vm_base_cores
+    epoch_sim = replace(
+        sim,
+        horizon_ms=cfg.epoch_ms,
+        warmup_ms=cfg.warmup_ms,
+        seed=derive_epoch_seed(sim.seed, epoch),
+        servers_to_simulate=cfg.servers,
+    )
+    points = []
+    for i in range(cfg.servers):
+        point_system = system
+        if alloc[i] != base_cores:
+            point_system = replace(
+                system,
+                cluster=replace(
+                    system.cluster, harvest_vm_base_cores=int(alloc[i])
+                ),
+            )
+        point_sim = epoch_sim
+        if load_scale[i] is not None:
+            point_sim = replace(epoch_sim, load_scale=float(load_scale[i]))
+        points.append(
+            SweepPoint(
+                label=f"epoch={epoch}/server={i}",
+                system=point_system,
+                sim=point_sim,
+                batch_job=jobs[i % len(jobs)],
+                server_index=i,
+            )
+        )
+    return points
+
+
+def run_cluster_scale(
+    system: SystemConfig,
+    sim: Optional[SimulationConfig] = None,
+    cfg: Optional[ClusterScaleConfig] = None,
+    workers: int = 1,
+    cache=None,
+    task_timeout: Optional[float] = None,
+    batch_jobs: Optional[Sequence[BatchJobProfile]] = None,
+    progress=None,
+) -> ClusterScaleResult:
+    """Run a sharded, epoch-barriered cluster-scale simulation.
+
+    ``workers`` shards each epoch's servers over a process pool via
+    :func:`repro.parallel.runner.run_sweep`; results are collected keyed
+    by server, so the outcome is bit-identical to ``workers=1``.
+    ``cache`` serves previously-computed (server, epoch) points from the
+    content-addressed result cache under the usual key contract.
+    ``progress`` is an optional callable ``(message: str) -> None``.
+    """
+    from repro.parallel.runner import run_sweep
+
+    sim = sim or SimulationConfig()
+    cfg = cfg or ClusterScaleConfig()
+    _validate(system, cfg)
+    jobs = list(batch_jobs or BATCH_JOBS)
+    cluster = system.cluster
+    profiles = get_suite(sim.suite)[: cluster.primary_vms_per_server]
+    mix = service_mix(profiles, cluster)
+    nominal_rps = expected_server_rps(profiles, cluster) * sim.load_scale
+    epoch_s = cfg.epoch_ms / 1e3
+
+    alloc: List[int] = [cluster.harvest_vm_base_cores] * cfg.servers
+    carryover = np.zeros(cfg.servers, dtype=float)
+    epochs: List[EpochResult] = []
+    started = time.monotonic()
+
+    for epoch in range(cfg.epochs):
+        requests = cfg.epoch_requests(epoch)
+        routing: Optional[EpochRouting] = None
+        load_scale: List[Optional[float]]
+        if requests is None:
+            load_scale = [None] * cfg.servers
+        else:
+            routing = route_epoch(
+                cfg.routing,
+                routing_rng(sim.seed, epoch),
+                cfg.servers,
+                requests,
+                mix,
+                carryover,
+            )
+            # Routed share -> per-server load multiplier.  The floor keeps
+            # a starved server at a deterministic trickle instead of a
+            # zero rate the arrival generator rejects.
+            load_scale = [
+                max(float(c) / (nominal_rps * epoch_s), 0.01) * sim.load_scale
+                for c in routing.counts
+            ]
+
+        points = _epoch_points(system, sim, cfg, epoch, alloc, load_scale, jobs)
+        if progress is not None:
+            progress(
+                f"epoch {epoch + 1}/{cfg.epochs}: {cfg.servers} server(s), "
+                + (f"{requests} routed request(s)" if requests is not None
+                   else "nominal load")
+            )
+        outcome = run_sweep(
+            points, workers=workers, cache=cache, task_timeout=task_timeout
+        )
+        cluster_result = ClusterResult(
+            system=system.name, servers=list(outcome.results.values())
+        )
+
+        # --- barrier: merge, rebalance, feed the router -----------------
+        utilization = [
+            s.avg_busy_cores / cluster.cores_per_server
+            for s in cluster_result.servers
+        ]
+        decision = None
+        if cfg.rebalance and epoch + 1 < cfg.epochs:
+            decision = rebalance_harvest(
+                alloc,
+                utilization,
+                cluster.cores_per_server,
+                cfg.harvest_min_cores,
+                cfg.harvest_max_cores,
+                cfg.rebalance_threshold,
+                cfg.rebalance_max_moves,
+            )
+        epochs.append(
+            EpochResult(
+                epoch=epoch,
+                seed=derive_epoch_seed(sim.seed, epoch),
+                harvest_alloc=list(alloc),
+                load_scale=[
+                    ls if ls is not None else sim.load_scale
+                    for ls in load_scale
+                ],
+                routing=routing.to_dict() if routing is not None else None,
+                rebalance=decision.to_dict() if decision is not None else None,
+                cluster=cluster_result,
+            )
+        )
+        if decision is not None:
+            alloc = list(decision.alloc)
+        # Observed busy core-time (µs) seeds the next epoch's estimated
+        # outstanding work, in the same units as per-request cost sums.
+        carryover = np.array(
+            [u * cluster.cores_per_server * cfg.epoch_ms * 1e3
+             for u in utilization],
+            dtype=float,
+        )
+
+    result = ClusterScaleResult(
+        system=system.name, servers=cfg.servers, epochs=epochs
+    )
+    result.elapsed_s = time.monotonic() - started
+    return result

@@ -1,0 +1,112 @@
+"""Cluster-scale run description: sharding, routing, and rebalancing knobs.
+
+A :class:`ClusterScaleConfig` describes the *datacenter layer* of a run —
+how many servers, how many requests the front-end routes, how time is cut
+into epochs, which load-balancing policy assigns requests to servers, and
+how the inter-server harvest rebalancer may move batch capacity around.
+Everything below the datacenter layer (the per-server microarchitectural
+simulation) keeps coming from the usual
+:class:`~repro.config.SystemConfig` / :class:`~repro.config.SimulationConfig`
+pair.
+
+Determinism contract
+--------------------
+
+Every field here feeds a *pure* function of the root seed: routing draws
+come from a dedicated ``SeedSequence`` keyed by ``(root seed, epoch)``,
+rebalancing is a deterministic integer algorithm over the epoch's merged
+results, and per-server workload randomness derives from
+``(epoch seed, server_index)`` exactly as the legacy single-epoch path
+does.  Worker count, shard layout, and completion order never enter any
+of those functions — which is what makes a 256-server run bit-identical
+at ``--workers 1`` and ``--workers 16``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class RoutingPolicy(Enum):
+    """Datacenter front-end request-routing policies.
+
+    ``ROUND_ROBIN``  — requests to server ``(i + offset) mod N``; ignores
+                       per-request cost, so heavy requests can clump.
+    ``LEAST_LOADED`` — each request to the server with the smallest
+                       estimated outstanding work (ties to the lowest
+                       index); the omniscient baseline.
+    ``POWER_OF_TWO`` — two candidate servers drawn per request; the less
+                       loaded one wins (Mitzenmacher's power of two
+                       choices) — near-least-loaded quality at O(1) state.
+    """
+
+    ROUND_ROBIN = "round-robin"
+    LEAST_LOADED = "least-loaded"
+    POWER_OF_TWO = "p2c"
+
+
+ROUTING_POLICY_NAMES = tuple(p.value for p in RoutingPolicy)
+
+
+@dataclass(frozen=True)
+class ClusterScaleConfig:
+    """Datacenter-layer knobs of a sharded cluster-scale run."""
+
+    #: Servers in the simulated cluster (each runs the full per-server
+    #: microarchitectural model).
+    servers: int = 16
+    #: Total requests the front-end routes across the run, split evenly
+    #: over epochs (remainder to the earliest).  ``None`` = nominal mode:
+    #: every server runs at the base ``SimulationConfig.load_scale``
+    #: (routing statistics are still reported, but uniform).
+    requests: Optional[int] = None
+    #: Simulation rounds separated by cluster-wide barriers.  Routing
+    #: feedback and harvest rebalancing are exchanged at epoch boundaries.
+    epochs: int = 1
+    #: Simulated horizon of one epoch (ms).
+    epoch_ms: float = 100.0
+    #: Warmup prefix of each epoch excluded from latency statistics (ms).
+    warmup_ms: float = 10.0
+    routing: RoutingPolicy = RoutingPolicy.ROUND_ROBIN
+    #: Move harvest-VM base cores between servers at epoch barriers.
+    rebalance: bool = True
+    #: Minimum utilization gap (fraction of a server's cores) between the
+    #: hottest and coldest server before a core moves.
+    rebalance_threshold: float = 0.05
+    #: Cap on cores moved per epoch barrier.
+    rebalance_max_moves: int = 8
+    #: Bounds on any server's harvest-VM base cores.  The upper bound must
+    #: respect the server's core budget (validated when points are built).
+    harvest_min_cores: int = 1
+    harvest_max_cores: int = 4
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0:
+            raise ValueError(f"servers must be positive, got {self.servers}")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.requests is not None and self.requests <= 0:
+            raise ValueError(f"requests must be positive, got {self.requests}")
+        if self.epoch_ms <= 0:
+            raise ValueError(f"epoch_ms must be positive, got {self.epoch_ms}")
+        if not 0 <= self.warmup_ms < self.epoch_ms:
+            raise ValueError(
+                f"warmup_ms must be in [0, epoch_ms), got {self.warmup_ms}"
+            )
+        if self.rebalance_max_moves < 0:
+            raise ValueError("rebalance_max_moves must be non-negative")
+        if not 0 < self.harvest_min_cores <= self.harvest_max_cores:
+            raise ValueError(
+                "need 0 < harvest_min_cores <= harvest_max_cores, got "
+                f"[{self.harvest_min_cores}, {self.harvest_max_cores}]"
+            )
+
+    def epoch_requests(self, epoch: int) -> Optional[int]:
+        """This epoch's share of :attr:`requests` (even split, remainder
+        to the earliest epochs)."""
+        if self.requests is None:
+            return None
+        base, rem = divmod(self.requests, self.epochs)
+        return base + (1 if epoch < rem else 0)

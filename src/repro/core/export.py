@@ -170,6 +170,35 @@ def write_sweep_csv(path: str, results: Dict[str, ServerResult]) -> None:
                 )
 
 
+def write_cluster_scale_json(path: str, result) -> None:
+    """Write a :class:`~repro.cluster_scale.result.ClusterScaleResult`
+    losslessly (its ``to_dict`` keeps per-server results at native
+    precision and excludes wall time, so the file's content is exactly
+    what the run digest covers)."""
+    with atomic_open(path) as fh:
+        json.dump(result.to_dict(), fh, indent=2)
+
+
+def write_cluster_scale_csv(path: str, result) -> None:
+    """One flat row per (epoch, server) with the headline metrics."""
+    with atomic_open(path, newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["epoch", "server", "system", "batch_job", "load_scale",
+             "harvest_cores", "requests_measured", "avg_p99_ms",
+             "avg_p50_ms", "avg_busy_cores", "batch_units_per_s"]
+        )
+        for epoch in result.epochs:
+            for i, server in enumerate(epoch.cluster.servers):
+                writer.writerow(
+                    [epoch.epoch, i, server.system, server.batch_job,
+                     epoch.load_scale[i], epoch.harvest_alloc[i],
+                     server.counters.get("requests_measured", 0),
+                     server.avg_p99_ms(), server.avg_p50_ms(),
+                     server.avg_busy_cores, server.batch_units_per_s]
+                )
+
+
 def write_samples_csv(path: str, sim: ServerSimulation) -> int:
     """Dump raw per-request latency samples (ns) from a live simulation.
 

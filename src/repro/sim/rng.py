@@ -27,6 +27,45 @@ def _name_key(name: str) -> int:
     return zlib.crc32(name.encode("utf-8"))
 
 
+#: Prime stride separating per-server seed spaces.  Documented as part of
+#: the determinism contract: a server's entire RNG universe is a pure
+#: function of ``(root seed, server_index)``, so any process — the serial
+#: loop, a pool worker, a cluster-scale shard — reconstructs identical
+#: streams from the config alone.
+SERVER_SEED_STRIDE = 7919
+
+
+def derive_server_seed(root_seed: int, server_index: int) -> int:
+    """Seed for one simulated server's :class:`RngRegistry`.
+
+    ``root_seed + SERVER_SEED_STRIDE * server_index`` — the historical
+    formula used by :class:`repro.cluster.server.ServerSimulation` since
+    the first release, now named so the cluster-scale sharding layer and
+    the per-server engine provably agree on it.
+    """
+    return root_seed + SERVER_SEED_STRIDE * server_index
+
+
+def derive_epoch_seed(root_seed: int, epoch: int) -> int:
+    """Root seed for one epoch of a cluster-scale run.
+
+    Epoch 0 is the *identity* (a one-epoch cluster-scale run reproduces
+    the legacy :func:`repro.core.experiment.run_cluster` results
+    bit-for-bit).  Later epochs re-key through
+    :class:`numpy.random.SeedSequence` so each epoch draws fresh workload
+    randomness that is still a pure function of ``(root seed, epoch)`` —
+    independent of worker count, shard layout, and wall clock.
+    """
+    if epoch < 0:
+        raise ValueError(f"epoch must be non-negative, got {epoch}")
+    if epoch == 0:
+        return root_seed
+    seq = np.random.SeedSequence(
+        entropy=root_seed, spawn_key=(_name_key("cluster_scale.epoch"), epoch)
+    )
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+
 class RngRegistry:
     """Factory for named, independent ``numpy.random.Generator`` streams."""
 

@@ -62,11 +62,38 @@ def generate_arrivals(
     return arrivals
 
 
+#: Default dwell times of the server-wide burst schedule (ms).  Named so
+#: the cluster-scale router can compute the *expected* arrival rate with
+#: the same duty cycle the generator actually uses.
+NORMAL_DWELL_MS = 420.0
+BURST_DWELL_MS = 45.0
+
+
+def expected_rps(
+    profile: ServiceProfile,
+    num_cores: int,
+    load_scale: float = 1.0,
+    normal_dwell_ms: float = NORMAL_DWELL_MS,
+    burst_dwell_ms: float = BURST_DWELL_MS,
+) -> float:
+    """Long-run expected arrival rate of :func:`generate_arrivals_correlated`.
+
+    The MMPP alternates between the base rate and ``burst_multiplier`` times
+    it; with exponential dwells the burst duty cycle is
+    ``burst_dwell / (normal_dwell + burst_dwell)``, so the expected rate is
+    the duty-weighted mixture.  The cluster-scale routing layer uses this
+    to convert a routed request share into a per-server ``load_scale``.
+    """
+    base = profile.rps_per_core * num_cores * load_scale
+    duty = burst_dwell_ms / (normal_dwell_ms + burst_dwell_ms)
+    return base * (1.0 + duty * (profile.burst_multiplier - 1.0))
+
+
 def generate_burst_schedule(
     rng: np.random.Generator,
     horizon_ns: int,
-    normal_dwell_ms: float = 420.0,
-    burst_dwell_ms: float = 45.0,
+    normal_dwell_ms: float = NORMAL_DWELL_MS,
+    burst_dwell_ms: float = BURST_DWELL_MS,
 ) -> List[Tuple[int, int]]:
     """Server-wide burst windows [(start_ns, end_ns), ...].
 
