@@ -11,12 +11,10 @@ fast path's contract, pinned independently by ``tests/test_hotpath_parity.py``);
 the benchmark aborts if they diverge, so a speedup number can never come
 from a behavioral shortcut.
 
-Methodology notes:
+Methodology (see :mod:`benchmarks._timing`): interleaved rounds,
+best-of-N, CPU-time headline, digest guard.  One scope note specific to
+this benchmark:
 
-* Modes are interleaved within each round and summarized best-of-N, which
-  cancels CPU frequency drift on throttling hosts; CPU time
-  (``time.process_time``) is the headline because it is immune to
-  scheduler preemption.
 * The baseline carries the reference *algorithms* (linear tag scans,
   scalar per-access loops) over the current data structures, which
   include hashed-index upkeep the original tree did not pay on fills.
@@ -28,50 +26,45 @@ Methodology notes:
 Usage::
 
     PYTHONPATH=src python benchmarks/hotpath_speedup.py [--rounds 3] \
-        [--horizon-ms 60] [--min-speedup 1.3]
+        [--horizon-ms 60] [--min-speedup 1.5]
 """
 
 from __future__ import annotations
 
 import argparse
-import gc
-import hashlib
-import json
-import os
 import platform
-import time
 
 import repro
 from repro.config import SimulationConfig
 from repro.core.experiment import run_server
-from repro.core.export import server_result_to_dict
 from repro.core.presets import hardharvest_block
 from repro.mem.cache import SLOWPATH_ENV
-from repro.parallel.cache import canonical_json
+
+from _timing import (
+    best_cpu,
+    best_wall,
+    digest_of,
+    env_overrides,
+    interleaved_rounds,
+    require_same_digest,
+    write_record,
+)
 
 
-def _timed_run(cfg: SimulationConfig, slowpath: bool):
-    """One construction+run in the requested mode; returns (wall, cpu, digest).
+def _mode_runner(cfg: SimulationConfig, slowpath: bool):
+    """Thunk running one construction+run in the requested mode.
 
     The slow-path switch is read at construction time of every array and
     sampler, so flipping the environment variable between runs in one
     process selects the implementation cleanly.
     """
-    if slowpath:
-        os.environ[SLOWPATH_ENV] = "1"
-    else:
-        os.environ.pop(SLOWPATH_ENV, None)
-    try:
-        gc.collect()
-        t0_wall, t0_cpu = time.perf_counter(), time.process_time()
-        result = run_server(hardharvest_block(), cfg)
-        wall = time.perf_counter() - t0_wall
-        cpu = time.process_time() - t0_cpu
-    finally:
-        os.environ.pop(SLOWPATH_ENV, None)
-    payload = canonical_json(server_result_to_dict(result))
-    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
-    return wall, cpu, digest
+    overrides = {SLOWPATH_ENV: "1" if slowpath else None}
+
+    def run():
+        with env_overrides(overrides):
+            return digest_of(run_server(hardharvest_block(), cfg))
+
+    return run
 
 
 def main(argv=None) -> int:
@@ -91,27 +84,25 @@ def main(argv=None) -> int:
     cfg = SimulationConfig(
         seed=args.seed, horizon_ms=args.horizon_ms, warmup_ms=args.warmup_ms
     )
+    samples = interleaved_rounds(
+        [
+            ("reference", _mode_runner(cfg, True)),
+            ("fast", _mode_runner(cfg, False)),
+        ],
+        args.rounds,
+    )
 
-    samples = {"reference": [], "fast": []}
-    digests = set()
-    for rnd in range(args.rounds):
-        for mode, slowpath in (("reference", True), ("fast", False)):
-            wall, cpu, digest = _timed_run(cfg, slowpath)
-            samples[mode].append((wall, cpu))
-            digests.add(digest)
-            print(f"round {rnd} {mode:9s} wall={wall:.3f}s cpu={cpu:.3f}s")
-
-    if len(digests) != 1:
-        print("ERROR: reference and fast modes produced different result "
-              f"digests: {sorted(digests)}")
+    try:
+        digest = require_same_digest(samples)
+    except RuntimeError as exc:
+        print(f"ERROR: {exc}")
         return 1
 
-    ref_cpu = min(c for _, c in samples["reference"])
-    fast_cpu = min(c for _, c in samples["fast"])
-    ref_wall = min(w for w, _ in samples["reference"])
-    fast_wall = min(w for w, _ in samples["fast"])
+    ref_cpu = best_cpu(samples["reference"])
+    fast_cpu = best_cpu(samples["fast"])
+    ref_wall = best_wall(samples["reference"])
+    fast_wall = best_wall(samples["fast"])
     speedup_cpu = ref_cpu / fast_cpu
-    speedup_wall = ref_wall / fast_wall
 
     record = {
         "benchmark": "mem_hotpath_speedup",
@@ -129,22 +120,17 @@ def main(argv=None) -> int:
         "reference_wall_s": round(ref_wall, 3),
         "fast_wall_s": round(fast_wall, 3),
         "speedup_cpu": round(speedup_cpu, 3),
-        "speedup_wall": round(speedup_wall, 3),
-        "digest": digests.pop(),
+        "speedup_wall": round(ref_wall / fast_wall, 3),
+        "digest": digest,
         "baseline_note": (
             "reference = in-tree REPRO_MEM_SLOWPATH algorithms (linear tag "
             "scans, scalar access/sampling loops) over current data "
-            "structures; the pre-PR git tree measures ~1.85s CPU on this "
-            "config, ~1.3x vs the fast path"
+            "structures; the pre-fast-path git tree measures ~1.85s CPU on "
+            "this config, ~1.3x vs the fast path. For the combined "
+            "memory+scheduler ratio see BENCH_sched_hotpath.json."
         ),
     }
-    out_dir = os.path.join(os.path.dirname(__file__), "..", "bench_results")
-    os.makedirs(out_dir, exist_ok=True)
-    out_path = args.out or os.path.join(out_dir, "BENCH_hotpath.json")
-    with open(out_path, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(record, indent=2))
+    write_record(record, "BENCH_hotpath.json", args.out)
 
     if args.min_speedup is not None and speedup_cpu < args.min_speedup:
         print(f"ERROR: CPU speedup {speedup_cpu:.3f} below required "

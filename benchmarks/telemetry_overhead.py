@@ -11,9 +11,11 @@ same simulation three ways —
 * ``TelemetryConfig(enabled=False)`` (explicit off),
 * ``TelemetryConfig(enabled=True)`` (full tracing, informational only),
 
-— takes the min over ``--repeats`` runs of each, asserts the disabled
-configurations agree within ``--tolerance`` (default 2%), and records the
-wall-clocks under ``bench_results/BENCH_telemetry_overhead.json``.
+— interleaves them over ``--repeats`` rounds (see
+:mod:`benchmarks._timing`), keeps the best wall-clock of each, asserts
+the disabled configurations agree within ``--tolerance`` (default 2%),
+and records the wall-clocks under
+``bench_results/BENCH_telemetry_overhead.json``.
 
 Usage::
 
@@ -23,26 +25,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import platform
 import sys
-import time
 from dataclasses import replace
 
 import repro
 from repro.config import SimulationConfig, TelemetryConfig
 from repro.core import hardharvest_block, run_server
 
-
-def timed_run(system, simcfg, repeats: int) -> float:
-    """Min-of-k wall-clock for one configuration (min rejects scheduler noise)."""
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        run_server(system, simcfg)
-        best = min(best, time.perf_counter() - started)
-    return best
+from _timing import best_wall, interleaved_rounds, write_record
 
 
 def main(argv=None) -> int:
@@ -64,15 +55,21 @@ def main(argv=None) -> int:
         accesses_per_segment=args.accesses,
     )
 
-    none_s = timed_run(system, base, args.repeats)
-    off_s = timed_run(
-        system, replace(base, telemetry=TelemetryConfig(enabled=False)),
+    configs = {
+        "none": base,
+        "off": replace(base, telemetry=TelemetryConfig(enabled=False)),
+        "on": replace(base, telemetry=TelemetryConfig(enabled=True)),
+    }
+    samples = interleaved_rounds(
+        [
+            (name, lambda cfg=cfg: run_server(system, cfg))
+            for name, cfg in configs.items()
+        ],
         args.repeats,
     )
-    on_s = timed_run(
-        system, replace(base, telemetry=TelemetryConfig(enabled=True)),
-        args.repeats,
-    )
+    none_s = best_wall(samples["none"])
+    off_s = best_wall(samples["off"])
+    on_s = best_wall(samples["on"])
 
     disabled_ratio = off_s / none_s
     record = {
@@ -88,13 +85,7 @@ def main(argv=None) -> int:
         "enabled_ratio": round(on_s / none_s, 4),
         "tolerance": args.tolerance,
     }
-    out_dir = os.path.join(os.path.dirname(__file__), "..", "bench_results")
-    os.makedirs(out_dir, exist_ok=True)
-    out_path = args.out or os.path.join(out_dir, "BENCH_telemetry_overhead.json")
-    with open(out_path, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(record, indent=2))
+    write_record(record, "BENCH_telemetry_overhead.json", args.out)
 
     if disabled_ratio > 1.0 + args.tolerance:
         print(

@@ -14,6 +14,10 @@ Commands
 ``trace``    — run one system with telemetry enabled and export a
                Perfetto trace, a gauge time-series CSV, and the
                critical-path report (:mod:`repro.telemetry`).
+``profile``  — run one server simulation under :mod:`cProfile` and print
+               the hottest functions (the entry point for hot-path work;
+               pair with ``REPRO_MEM_SLOWPATH`` / ``REPRO_SCHED_SLOWPATH``
+               to profile the reference implementations).
 
 Examples::
 
@@ -25,6 +29,7 @@ Examples::
     python -m repro faults --list
     python -m repro storage
     python -m repro trace --system HardHarvest-Block --out traces/
+    python -m repro profile --horizon-ms 60 --sort tottime --top 15
 """
 
 from __future__ import annotations
@@ -478,6 +483,38 @@ def cmd_storage(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one server simulation with :mod:`cProfile`.
+
+    Profiles :func:`~repro.core.experiment.run_server_raw` — construction
+    plus the full event loop, exactly what the speedup benchmarks time —
+    and prints the top functions by ``--sort``.  ``--output`` additionally
+    dumps the raw pstats file for ``snakeviz``/``pstats`` browsing.
+    """
+    import cProfile
+    import pstats
+
+    kind = next((k for k in SystemKind if k.value == args.system), None)
+    if kind is None:
+        print(f"unknown system {args.system!r}; choose from {SYSTEM_NAMES}",
+              file=sys.stderr)
+        return 2
+    from repro.core.experiment import run_server_raw
+
+    system = build_system(kind)
+    simcfg = _sim_config(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_server_raw(system, simcfg)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"wrote raw profile to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -609,6 +646,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="gauge sampling cadence in simulated µs")
     common(p_tr)
     p_tr.set_defaults(func=cmd_trace)
+
+    p_pr = sub.add_parser(
+        "profile", help="cProfile one server run and print the hot functions"
+    )
+    p_pr.add_argument("--system", default="HardHarvest-Block",
+                      choices=SYSTEM_NAMES)
+    p_pr.add_argument("--sort", default="cumtime",
+                      choices=["cumtime", "tottime", "ncalls", "calls",
+                               "time", "cumulative"],
+                      help="pstats sort key (default cumtime)")
+    p_pr.add_argument("--top", type=int, default=25,
+                      help="number of stats rows to print (default 25)")
+    p_pr.add_argument("--output", default=None,
+                      help="also dump the raw pstats file here")
+    common(p_pr)
+    p_pr.set_defaults(func=cmd_profile)
 
     p_st = sub.add_parser("storage", help="Section 6.8 hardware cost")
     p_st.set_defaults(func=cmd_storage)

@@ -56,7 +56,7 @@ from repro.mem.address import AddressSpace
 from repro.mem.cache import slowpath_enabled
 from repro.mem.dram import DramModel
 from repro.mem.hierarchy import CoreMemory, build_llc
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, sched_slowpath_enabled
 from repro.sim.rng import RngRegistry, derive_server_seed
 from repro.sim.stats import (
     BreakdownRecorder,
@@ -249,6 +249,40 @@ class ServerSimulation:
         self._batchmem_rng = self.rng.stream("batchmem")
         self._costs_rng = self.rng.stream("costs")
         self._mem_fastpath = not slowpath_enabled()
+        self._sched_fastpath = not sched_slowpath_enabled()
+        #: Flat counter store: hot handlers bump this dict directly instead
+        #: of paying ``Counter.incr``'s method call + validation per event.
+        #: Same underlying defaultdict, so cold-path ``incr`` calls and
+        #: result extraction observe every update immediately.
+        self._counts = self.counters._counts
+        #: Cores currently executing a batch unit (state BUSY with a live
+        #: ``batch_event``), maintained at the four transition sites so the
+        #: sync-overhead model reads a counter instead of scanning all
+        #: cores.  Equals the reference scan at every read — the slow path
+        #: still scans, and the parity pins prove both agree.
+        self._active_batch_cores = 0
+        #: Per-VM scheduling descriptors: the queue methods the hot
+        #: handlers call, bound once (queue objects never change after
+        #: construction).  One dict hit replaces repeated
+        #: ``vm.queue.<method>`` attribute chains per handler invocation.
+        self._vm_desc = {
+            vm.vm_id: (
+                vm.queue,
+                vm.queue.has_ready,
+                vm.queue.dequeue,
+                vm.queue.ready_count,
+                vm.queue.ready_steered_cores,
+                vm.cores,
+            )
+            for vm in self.primary_vms
+        }
+        #: Ready-work arbitration: descriptor-driven fast path or the kept
+        #: reference (sublist-materializing) implementation, chosen once.
+        self._work_available = (
+            self._work_available_fast
+            if self._sched_fastpath
+            else self._work_available_ref
+        )
 
         # ------------------------------------------------------------------
         # Pre-draw workload: identical across systems given the same seed.
@@ -464,23 +498,39 @@ class ServerSimulation:
                 tr.emit(self.sim.now, trc.REQ_SHED, req.req_id, vm.vm_id)
             self.client.on_shed(vm, req)
             return
-        req.ready_since_ns = self.sim.now
+        now = self.sim.now
+        req.ready_since_ns = now
         if self.per_core_steering:
             # RSS steering with slow re-steer: the NIC hashes flows over the
             # VM's vCPUs; the stack re-steers away from a harvested core
             # only after ``resteer_ns`` — arrivals inside that window land
             # on the loaned core's queue and need a buffer core or reclaim.
             resteer = self.system.software_costs.resteer_ns
-            eligible = [
-                c
-                for c in vm.cores
-                if not (c.on_loan and self.sim.now - c.loan_start_ns > resteer)
-            ] or vm.cores
+            cores = vm.cores
+            if self._sched_fastpath:
+                # The filtered list is only built when some core actually
+                # sits past its re-steer window (loans are uncommon).
+                eligible = cores
+                for c in cores:
+                    if c.on_loan and now - c.loan_start_ns > resteer:
+                        eligible = [
+                            c2
+                            for c2 in cores
+                            if not (c2.on_loan and now - c2.loan_start_ns > resteer)
+                        ] or cores
+                        break
+            else:
+                # Reference: always materialize the eligible list.
+                eligible = [
+                    c
+                    for c in cores
+                    if not (c.on_loan and now - c.loan_start_ns > resteer)
+                ] or cores
             req.steered_core_id = eligible[vm.rr_cursor % len(eligible)].core_id
             vm.rr_cursor += 1
         in_hw = vm.queue.enqueue(req)
         if not in_hw:
-            self.counters.incr("queue_overflow_spills")
+            self._counts["queue_overflow_spills"] += 1
         tr = self.tracer
         if tr is not None:
             tr.emit(
@@ -493,8 +543,68 @@ class ServerSimulation:
             )
         self._work_available(vm)
 
-    def _work_available(self, vm: PrimaryVm) -> None:
-        """Ready work exists for ``vm``: dispatch, borrow, or reclaim."""
+    def _work_available_fast(self, vm: PrimaryVm) -> None:
+        """Fast-path arbitration off the per-VM descriptor.
+
+        Runs on every enqueue and every I/O completion, so it works off
+        the per-VM descriptor (bound queue methods, core list) and scans
+        the core list once per decision instead of materializing
+        idle/loaned/available sublists.  Decision-identical to
+        :meth:`_work_available_ref` (first idle in core order ==
+        ``idle_cores()[0]``, etc.); the parity pins prove it.
+        """
+        _queue, has_ready, _deq, ready_count, ready_steered, cores = (
+            self._vm_desc[vm.vm_id]
+        )
+        if not has_ready():
+            return
+        if not self.per_core_steering:
+            # Shared per-VM subqueue: any idle bound core serves the head
+            # (first idle in core order == old ``idle_cores()[0]``).
+            for c in cores:
+                if c.state == IDLE and not c.on_loan:
+                    self._start_dispatch(c, vm)
+                    return
+            for c in cores:
+                if c.on_loan and c.state != SWITCHING:
+                    self._start_reclaim(vm, c)
+                    return
+            return
+
+        # Per-core steering: each ready request waits for *its* core.
+        stuck_on_loan = []
+        all_cores = self.cores
+        for core_id in ready_steered():
+            core = all_cores[core_id]
+            if core.state == IDLE and not core.on_loan and core.guest_vm_id is None:
+                self._start_dispatch(core, vm)
+            elif core.on_loan:
+                stuck_on_loan.append(core)
+        if stuck_on_loan:
+            # A request is stranded on a harvested core. SmartHarvest's fast
+            # path: attach an emergency-buffer core; only if the buffer is
+            # exhausted does the slow reclaim start.
+            if not self._borrow_buffer_core(vm):
+                for core in stuck_on_loan:
+                    if core.state != SWITCHING:
+                        self._start_reclaim(vm, core)
+                        break
+        # Queue pressure: more ready work than attached cores while some
+        # cores are on loan — expand capacity by reclaiming.
+        available = 0
+        for c in cores:
+            if not c.on_loan and c.guest_vm_id is None:
+                available += 1
+        if ready_count() > available:
+            for c in cores:
+                if c.on_loan and c.state != SWITCHING:
+                    self._start_reclaim(vm, c)
+                    break
+
+    def _work_available_ref(self, vm: PrimaryVm) -> None:
+        """The kept reference arbitration (``REPRO_SCHED_SLOWPATH=1``):
+        materializes the idle/loaned/available sublists per decision, as
+        the pre-fast-path scheduler did."""
         if not vm.queue.has_ready():
             return
         if not self.per_core_steering:
@@ -517,9 +627,6 @@ class ServerSimulation:
             elif core.on_loan:
                 stuck_on_loan.append(core)
         if stuck_on_loan:
-            # A request is stranded on a harvested core. SmartHarvest's fast
-            # path: attach an emergency-buffer core; only if the buffer is
-            # exhausted does the slow reclaim start.
             if not self._borrow_buffer_core(vm):
                 for core in stuck_on_loan:
                     if core.state != SWITCHING:
@@ -570,7 +677,7 @@ class ServerSimulation:
             core.guest_vm_id = vm.vm_id
             delay = self.system.smartharvest.buffer_attach_ns
             req.breakdown.reassign_ns += delay
-            self.counters.incr("buffer_borrows")
+            self._counts["buffer_borrows"] += 1
         else:
             delay = self.costs.dispatch_ns(self._costs_rng)
         req.breakdown.queueing_ns += self.sim.now - req.ready_since_ns + delay
@@ -722,14 +829,14 @@ class ServerSimulation:
                     self.latency[vm.name].record(lat)
                     self.latency_all.record(lat)
                     self.breakdowns.record(vm.name, req.breakdown)
-                    self.counters.incr("requests_measured")
+                    self._counts["requests_measured"] += 1
             else:
                 if req.measured:
                     lat = req.latency_ns()
                     self.latency[vm.name].record(lat)
                     self.latency_all.record(lat)
                     self.breakdowns.record(vm.name, req.breakdown)
-                    self.counters.incr("requests_measured")
+                    self._counts["requests_measured"] += 1
                 self._logical_resolved()
             self._core_released(core, "term")
 
@@ -766,7 +873,7 @@ class ServerSimulation:
             if core.guest_vm_id is not None:
                 core.memory.flush_private_full()
                 core.guest_vm_id = None
-                self.counters.incr("buffer_returns")
+                self._counts["buffer_returns"] += 1
             core.state = STALLED
             core.idle_cause = cause
             core.idle_since = self.sim.now
@@ -788,7 +895,7 @@ class ServerSimulation:
             # cores clean; the flush runs while the core is idle).
             core.memory.flush_private_full()
             core.guest_vm_id = None
-            self.counters.incr("buffer_returns")
+            self._counts["buffer_returns"] += 1
         core.state = IDLE
         core.idle_cause = cause
         core.idle_since = self.sim.now
@@ -852,7 +959,7 @@ class ServerSimulation:
         core.state = SWITCHING
         core.on_loan = True
         core.loan_start_ns = self.sim.now
-        self.counters.incr("lends")
+        self._counts["lends"] += 1
         tr = self.tracer
         if tr is not None:
             tr.emit(
@@ -884,7 +991,7 @@ class ServerSimulation:
     def _lend_done(self, core: Core, flush) -> None:
         core.run_event = None
         flushed = flush()
-        self.counters.incr("lend_flushed_entries", flushed)
+        self._counts["lend_flushed_entries"] += flushed
         target = self._pick_harvest_vm()
         tr = self.tracer
         if tr is not None:
@@ -934,10 +1041,14 @@ class ServerSimulation:
         refs = job.mem_refs_per_us * job.unit_us
         base = cpu_ns + int(l_avg * refs)
         # Sublinear scaling: coordination costs grow with active batch cores.
-        active = 0
-        for c in self.cores:
-            if c.state == BUSY and c.batch_event is not None:
-                active += 1
+        if self._sched_fastpath:
+            active = self._active_batch_cores
+        else:
+            # Reference: scan every core (the counter above mirrors this).
+            active = 0
+            for c in self.cores:
+                if c.state == BUSY and c.batch_event is not None:
+                    active += 1
         return int(base * (1.0 + job.sync_overhead * active))
 
     def _start_batch_unit(self, core: Core) -> None:
@@ -979,11 +1090,13 @@ class ServerSimulation:
         core.batch_event = self.sim.schedule(
             duration, self._batch_unit_done, core, unit.remaining_frac
         )
+        self._active_batch_cores += 1
 
     def _batch_unit_done(self, core: Core, frac: float) -> None:
         hvm = self._harvest_vm_of(core)
         hvm.units_completed += frac
         core.batch_event = None
+        self._active_batch_cores -= 1
         self._leave_busy()
         tr = self.tracer
         if tr is not None:
@@ -1020,6 +1133,7 @@ class ServerSimulation:
             # Preempt the in-flight batch unit.
             core.batch_event.cancel()
             core.batch_event = None
+            self._active_batch_cores -= 1
             elapsed = self.sim.now - core.batch_unit_start_ns
             duration = max(1, core.batch_unit_duration_ns)
             done_frac = min(1.0, elapsed / duration)
@@ -1054,7 +1168,7 @@ class ServerSimulation:
                 )
         core.state = SWITCHING
         core.reclaim_in_flight = True
-        self.counters.incr("reclaims")
+        self._counts["reclaims"] += 1
         cost = self.costs.reclaim_cost(core.memory, self._costs_rng)
         tr = self.tracer
         if tr is not None:
@@ -1071,7 +1185,7 @@ class ServerSimulation:
     def _reclaim_done(self, core: Core, flush) -> None:
         core.run_event = None
         flushed = flush()
-        self.counters.incr("reclaim_flushed_entries", flushed)
+        self._counts["reclaim_flushed_entries"] += flushed
         tr = self.tracer
         if tr is not None:
             tr.emit(
@@ -1150,6 +1264,7 @@ class ServerSimulation:
             if core.batch_event is not None:
                 core.batch_event.cancel()
                 core.batch_event = None
+                self._active_batch_cores -= 1
                 self._harvest_vm_of(core).work_lost_ns += max(
                     0, now - core.batch_unit_start_ns
                 )

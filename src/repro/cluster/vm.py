@@ -18,7 +18,14 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from repro.cluster.core import Core
-from repro.hw.request_queue import Subqueue
+from repro.hw.request_queue import (
+    CODE_READY,
+    CODE_RUNNING,
+    RequestStatus,
+    Subqueue,
+)
+from repro.hw.sched_kernels import NUMPY_SCAN_MIN, ready_positions
+from repro.sim.engine import sched_slowpath_enabled
 from repro.workloads.batch import BatchJobProfile
 from repro.workloads.memory_profile import BatchMemory, ServiceMemory
 from repro.workloads.microservices import ServiceProfile
@@ -43,6 +50,9 @@ class SoftwareQueue:
     def __init__(self, vm_id: int):
         self._sq = Subqueue(vm_id, entries_per_chunk=1 << 30)
         self._sq.grant_chunk(0)
+        #: Fast/slow scan choice, made once like the subqueue's own
+        #: (``REPRO_SCHED_SLOWPATH=1`` keeps the reference object walks).
+        self._fast = not sched_slowpath_enabled()
 
     @staticmethod
     def _steering(request: object) -> Optional[int]:
@@ -50,6 +60,26 @@ class SoftwareQueue:
 
     def enqueue(self, request: object) -> bool:
         return self._sq.enqueue(request)
+
+    def _ready_indices(self):
+        """Iterator of READY entry positions, oldest first.
+
+        ``memchr`` steps through the status-code mirror for shallow queues;
+        deep queues (software per-core queues under overload) batch the
+        whole scan through the NumPy kernel first.
+        """
+        codes = self._sq._codes
+        if len(codes) >= NUMPY_SCAN_MIN:
+            return iter(ready_positions(codes))
+
+        def gen():
+            find = codes.find
+            i = find(CODE_READY)
+            while i >= 0:
+                yield i
+                i = find(CODE_READY, i + 1)
+
+        return gen()
 
     def dequeue(
         self,
@@ -62,15 +92,32 @@ class SoftwareQueue:
         by the steal path: the OS will not migrate a thread pinned to a
         vCPU just because that vCPU is temporarily descheduled).
         """
-        from repro.hw.request_queue import RequestStatus
-
-        for entry in self._sq.entries:
+        sq = self._sq
+        if self._fast:
+            if not sq._ready_count:
+                return None
+            entries = sq.entries
+            for i in self._ready_indices():
+                entry = entries[i]
+                steer = getattr(entry.request, "steered_core_id", None)
+                if exclude_steered_to and steer in exclude_steered_to:
+                    continue
+                if core_id is None or steer is None or steer == core_id:
+                    entry.status = RequestStatus.RUNNING
+                    sq._codes[i] = CODE_RUNNING
+                    sq._ready_count -= 1
+                    return entry.request
+            return None
+        # Reference: linear walk over the entry objects.
+        for i, entry in enumerate(sq.entries):
             if entry.status is RequestStatus.READY:
                 steer = self._steering(entry.request)
                 if exclude_steered_to and steer in exclude_steered_to:
                     continue
                 if core_id is None or steer is None or steer == core_id:
                     entry.status = RequestStatus.RUNNING
+                    sq._codes[i] = CODE_RUNNING
+                    sq._ready_count -= 1
                     return entry.request
         return None
 
@@ -79,9 +126,21 @@ class SoftwareQueue:
         core_id: Optional[int] = None,
         exclude_steered_to: Optional[set] = None,
     ) -> bool:
-        from repro.hw.request_queue import RequestStatus
-
-        for entry in self._sq.entries:
+        sq = self._sq
+        if self._fast:
+            if not sq._ready_count:
+                return False
+            if core_id is None and not exclude_steered_to:
+                return True
+            entries = sq.entries
+            for i in self._ready_indices():
+                steer = getattr(entries[i].request, "steered_core_id", None)
+                if exclude_steered_to and steer in exclude_steered_to:
+                    continue
+                if core_id is None or steer is None or steer == core_id:
+                    return True
+            return False
+        for entry in sq.entries:
             if entry.status is RequestStatus.READY:
                 steer = self._steering(entry.request)
                 if exclude_steered_to and steer in exclude_steered_to:
@@ -92,10 +151,19 @@ class SoftwareQueue:
 
     def ready_steered_cores(self) -> List[int]:
         """Distinct steering targets of READY requests, FIFO order."""
-        from repro.hw.request_queue import RequestStatus
-
+        sq = self._sq
+        if self._fast:
+            if not sq._ready_count:
+                return []
+            entries = sq.entries
+            seen: List[int] = []
+            for i in self._ready_indices():
+                steer = getattr(entries[i].request, "steered_core_id", None)
+                if steer is not None and steer not in seen:
+                    seen.append(steer)
+            return seen
         seen = []
-        for entry in self._sq.entries:
+        for entry in sq.entries:
             if entry.status is RequestStatus.READY:
                 steer = self._steering(entry.request)
                 if steer is not None and steer not in seen:
@@ -103,11 +171,7 @@ class SoftwareQueue:
         return seen
 
     def ready_count(self) -> int:
-        from repro.hw.request_queue import RequestStatus
-
-        return sum(
-            1 for e in self._sq.entries if e.status is RequestStatus.READY
-        )
+        return self._sq.ready_count()
 
     def mark_blocked(self, request: object) -> None:
         self._sq.mark_blocked(request)
@@ -157,13 +221,7 @@ class SharedQueueAdapter:
         return []
 
     def ready_count(self) -> int:
-        from repro.hw.request_queue import RequestStatus
-
-        return sum(
-            1
-            for e in self.qm.subqueue.entries
-            if e.status is RequestStatus.READY
-        )
+        return self.qm.subqueue.ready_count()
 
     def mark_blocked(self, request: object) -> None:
         self.qm.mark_blocked(request)

@@ -17,6 +17,8 @@ from collections import deque
 from enum import Enum
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from repro.sim.engine import sched_slowpath_enabled
+
 
 class RequestStatus(Enum):
     """The 2-bit status of an RQ entry (Section 6.8's status bits)."""
@@ -24,6 +26,13 @@ class RequestStatus(Enum):
     READY = "ready"
     RUNNING = "running"
     BLOCKED = "blocked"
+
+
+#: Byte encoding of :class:`RequestStatus` for the status-code mirror
+#: (``Subqueue._codes``): the scan kernels search raw bytes instead of
+#: walking entry objects.  READY must be 0 — ``bytearray.find(0)`` is the
+#: oldest-READY search.
+CODE_READY, CODE_RUNNING, CODE_BLOCKED = 0, 1, 2
 
 
 class RqEntry:
@@ -42,15 +51,28 @@ class Subqueue:
     The in-hardware part holds at most ``capacity`` entries (chunks ×
     entries/chunk); beyond that, pointers go to the In-memory Overflow
     Subqueue, and are promoted into hardware as entries retire.
+
+    Alongside ``entries`` the subqueue maintains two mirrors that every
+    mutation keeps in sync (the structural counterpart of the cache
+    model's tag index): ``_codes``, a bytearray of per-entry status codes
+    positionally aligned with ``entries``, and ``_ready_count``, the
+    number of READY entries.  The fast path (default) answers
+    ``has_ready``/``ready_count`` from the counter and finds the oldest
+    READY entry with a C-speed byte search; ``REPRO_SCHED_SLOWPATH=1``
+    keeps the reference linear scans over the entry objects.  Both paths
+    run over the same structures and return identical results.
     """
 
     def __init__(self, vm_id: int, entries_per_chunk: int):
         self.vm_id = vm_id
         self.entries_per_chunk = entries_per_chunk
         self.rq_map: List[int] = []  # physical chunk ids, logical order
-        self.entries: Deque[RqEntry] = deque()
+        self.entries: List[RqEntry] = []
         self.overflow: Deque[object] = deque()
         self.overflow_highwater = 0
+        self._codes = bytearray()
+        self._ready_count = 0
+        self._fast = not sched_slowpath_enabled()
 
     @property
     def capacity(self) -> int:
@@ -66,6 +88,8 @@ class Subqueue:
         spilled to the overflow subqueue."""
         if len(self.entries) < self.capacity:
             self.entries.append(RqEntry(request))
+            self._codes.append(CODE_READY)
+            self._ready_count += 1
             return True
         self.overflow.append(request)
         self.overflow_highwater = max(self.overflow_highwater, len(self.overflow))
@@ -74,61 +98,94 @@ class Subqueue:
     def _promote_overflow(self) -> None:
         while self.overflow and len(self.entries) < self.capacity:
             self.entries.append(RqEntry(self.overflow.popleft()))
+            self._codes.append(CODE_READY)
+            self._ready_count += 1
 
     def dequeue_ready(self) -> Optional[object]:
         """Oldest READY entry, marked RUNNING; None if there is none."""
-        for entry in self.entries:
-            if entry.status is RequestStatus.READY:
-                entry.status = RequestStatus.RUNNING
-                return entry.request
-        return None
+        if self._fast:
+            if not self._ready_count:
+                return None
+            i = self._codes.find(CODE_READY)
+            entry = self.entries[i]
+        else:
+            # Reference: linear scan over the entry objects.
+            i = -1
+            for j, entry in enumerate(self.entries):
+                if entry.status is RequestStatus.READY:
+                    i = j
+                    break
+            if i < 0:
+                return None
+            entry = self.entries[i]
+        entry.status = RequestStatus.RUNNING
+        self._codes[i] = CODE_RUNNING
+        self._ready_count -= 1
+        return entry.request
 
     def has_ready(self) -> bool:
+        if self._fast:
+            return self._ready_count > 0
         return any(e.status is RequestStatus.READY for e in self.entries)
 
-    def _find(self, request: object) -> RqEntry:
-        for entry in self.entries:
+    def ready_count(self) -> int:
+        """Number of READY entries in hardware."""
+        if self._fast:
+            return self._ready_count
+        return sum(1 for e in self.entries if e.status is RequestStatus.READY)
+
+    def _find(self, request: object) -> Tuple[int, RqEntry]:
+        for i, entry in enumerate(self.entries):
             if entry.request is request:
-                return entry
+                return i, entry
         raise KeyError(f"request {request!r} not present in subqueue of VM {self.vm_id}")
 
     def mark_blocked(self, request: object) -> None:
         """The core informed the QM that this request blocked on I/O.
 
         The entry stays in the subqueue (Section 4.1.5)."""
-        entry = self._find(request)
+        i, entry = self._find(request)
         if entry.status is not RequestStatus.RUNNING:
             raise ValueError(f"cannot block a {entry.status.value} request")
         entry.status = RequestStatus.BLOCKED
+        self._codes[i] = CODE_BLOCKED
 
     def mark_ready(self, request: object) -> None:
         """The NIC received the response for a blocked request."""
-        entry = self._find(request)
+        i, entry = self._find(request)
         if entry.status is not RequestStatus.BLOCKED:
             raise ValueError(f"cannot ready a {entry.status.value} request")
         entry.status = RequestStatus.READY
+        self._codes[i] = CODE_READY
+        self._ready_count += 1
 
     def requeue_ready(self, request: object) -> None:
         """Return a preempted RUNNING request to READY state (Figure 10b)."""
-        entry = self._find(request)
+        i, entry = self._find(request)
         if entry.status is not RequestStatus.RUNNING:
             raise ValueError(f"cannot requeue a {entry.status.value} request")
         entry.status = RequestStatus.READY
+        self._codes[i] = CODE_READY
+        self._ready_count += 1
 
     def complete(self, request: object) -> None:
         """Remove a finished request and promote overflow entries."""
-        entry = self._find(request)
+        i, entry = self._find(request)
         if entry.status is not RequestStatus.RUNNING:
             raise ValueError(f"cannot complete a {entry.status.value} request")
-        self.entries.remove(entry)
+        del self.entries[i]
+        del self._codes[i]
         self._promote_overflow()
 
     def discard(self, request: object) -> bool:
         """Remove a request in any state (abandoned attempt: timeout, shed,
         hedge loser, crash kill). Returns False if it is not queued here."""
-        for entry in self.entries:
+        for i, entry in enumerate(self.entries):
             if entry.request is request:
-                self.entries.remove(entry)
+                if entry.status is RequestStatus.READY:
+                    self._ready_count -= 1
+                del self.entries[i]
+                del self._codes[i]
                 self._promote_overflow()
                 return True
         try:
@@ -145,6 +202,8 @@ class Subqueue:
         drained.extend(self.overflow)
         self.entries.clear()
         self.overflow.clear()
+        self._codes.clear()
+        self._ready_count = 0
         return drained
 
     # ------------------------------------------------------------------
@@ -167,10 +226,12 @@ class Subqueue:
         chunk = self.rq_map.pop()
         while len(self.entries) > self.capacity:
             displaced = self.entries.pop()
+            code = self._codes.pop()
             if displaced.status is not RequestStatus.READY:
                 # Running/blocked entries must stay visible to the QM: put
                 # the newest READY one to overflow instead.
                 self.entries.append(displaced)
+                self._codes.append(code)
                 ready_idx = None
                 for i in range(len(self.entries) - 1, -1, -1):
                     if self.entries[i].status is RequestStatus.READY:
@@ -181,8 +242,11 @@ class Subqueue:
                     break
                 moved = self.entries[ready_idx]
                 del self.entries[ready_idx]
+                del self._codes[ready_idx]
+                self._ready_count -= 1
                 self.overflow.appendleft(moved.request)
             else:
+                self._ready_count -= 1
                 self.overflow.appendleft(displaced.request)
             self.overflow_highwater = max(self.overflow_highwater, len(self.overflow))
         return chunk

@@ -1,0 +1,68 @@
+"""Batched scan kernels for the scheduler fast path.
+
+The request-queue mirrors (``Subqueue._codes``: one status byte per entry,
+READY = 0) let the hot dequeue/has-ready/occupancy scans run at C speed
+instead of walking Python entry objects:
+
+* shallow queues (the common case) use ``bytearray.find`` — a single
+  ``memchr`` per candidate;
+* deep queues (software per-core queues under overload) batch the whole
+  scan through NumPy: one vectorized compare + ``flatnonzero`` yields
+  every READY position at once, and the steering filter then touches only
+  those entries.
+
+NumPy is optional: when it is unavailable the helpers fall back to the
+``find`` loop, which is still far faster than the object walk.  The
+selection between this module and the kept pure-Python reference scans is
+``REPRO_SCHED_SLOWPATH`` (see :mod:`repro.sim.engine`), decided at queue
+construction time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+try:  # pragma: no cover - exercised implicitly by every fast-path run
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is a hard dep elsewhere
+    _np = None
+
+#: Queue depth at which the vectorized scan beats the ``find`` loop.
+#: Below this, NumPy's per-call overhead (buffer wrap + two temporaries)
+#: costs more than it saves.
+NUMPY_SCAN_MIN = 64
+
+#: Status byte the kernels search for (mirror of
+#: :data:`repro.hw.request_queue.CODE_READY`; duplicated to avoid a
+#: circular import — pinned by a test).
+READY_BYTE = 0
+
+
+def ready_positions(codes: bytearray) -> List[int]:
+    """Positions of every READY entry, oldest first.
+
+    Vectorized for deep queues, ``memchr``-stepped otherwise.
+    """
+    if _np is not None and len(codes) >= NUMPY_SCAN_MIN:
+        return _np.flatnonzero(
+            _np.frombuffer(codes, dtype=_np.uint8) == READY_BYTE
+        ).tolist()
+    out: List[int] = []
+    find = codes.find
+    i = find(READY_BYTE)
+    while i >= 0:
+        out.append(i)
+        i = find(READY_BYTE, i + 1)
+    return out
+
+
+def ready_count_batch(codes: bytearray) -> int:
+    """Number of READY entries (vectorized for deep queues).
+
+    The queues maintain this incrementally (``Subqueue._ready_count``);
+    this kernel exists for cross-checks and for consumers holding only a
+    code mirror.
+    """
+    if _np is not None and len(codes) >= NUMPY_SCAN_MIN:
+        return int((_np.frombuffer(codes, dtype=_np.uint8) == READY_BYTE).sum())
+    return codes.count(READY_BYTE)

@@ -71,6 +71,8 @@ class SetAssocArray:
         # flushes (cleared on every flush_ways). Reconciling N sets that
         # share a seen epoch then costs one way scan, not N.
         self._stale_masks: Dict[int, int] = {}
+        # flush mask -> tuple of its way indices (see flush_ways).
+        self._flush_way_lists: Dict[int, Tuple[int, ...]] = {}
         self.fast = not slowpath_enabled()
 
     # ------------------------------------------------------------------
@@ -192,12 +194,18 @@ class SetAssocArray:
         defeat the laziness)."""
         self._flush_epoch += 1
         self._stale_masks.clear()
-        n = 0
-        for w in range(self.ways):
-            if (mask >> w) & 1:
-                self._way_flushed_at[w] = self._flush_epoch
-                n += 1
-        return n
+        # Harvest flushes repeat the same one or two masks for the whole
+        # run; memoize the mask decode so each flush is a short way-list
+        # walk instead of a per-way bit test.
+        cached = self._flush_way_lists.get(mask)
+        if cached is None:
+            cached = tuple(w for w in range(self.ways) if (mask >> w) & 1)
+            self._flush_way_lists[mask] = cached
+        epoch = self._flush_epoch
+        wfa = self._way_flushed_at
+        for w in cached:
+            wfa[w] = epoch
+        return len(cached)
 
     def flush_all(self) -> int:
         return self.flush_ways((1 << self.ways) - 1)

@@ -227,7 +227,7 @@ class CoreMemory:
         gsh = gb.bit_length() - 1 if gb > 0 and gb & (gb - 1) == 0 else -1
         tsh = nsets.bit_length() - 1 if nsets & (nsets - 1) == 0 else -1
         return (
-            arr, arr.sets, arr.ways, pol, pol.choose_victim, pol.on_hit,
+            arr, arr.sets, arr.ways, pol, pol.choose_victim_full, pol.on_hit,
             pol.on_insert, simple, has_hm, arr._way_flushed_at,
             arr._stale_masks, gsh, nsets - 1, gsh + tsh,
             gsh >= 0 and tsh >= 0,
@@ -410,35 +410,36 @@ class CoreMemory:
                 cset.seen_flush = ep_t1
                 sets_t1[si] = cset
             elif cset.seen_flush < ep_t1:
-                sn = cset.seen_flush
-                st = sms_t1.get(sn)
-                if st is None:
-                    st = 0
-                    for rw in range(ways_t1):
-                        if fl_t1[rw] > sn:
-                            st |= 1 << rw
-                    sms_t1[sn] = st
-                st &= cset.valid_mask
-                if st:
-                    cset.valid_mask &= ~st
-                    rv = cset.valid
-                    rt = cset.tags
-                    rd = cset.dirty
-                    rix = cset.index
-                    while st:
-                        low = st & -st
-                        st ^= low
-                        rw = low.bit_length() - 1
-                        rv[rw] = False
-                        rtag = rt[rw]
-                        rm = rix[rtag] & ~low
-                        if rm:
-                            rix[rtag] = rm
-                        else:
-                            del rix[rtag]
-                        if rd[rw]:
-                            rd[rw] = False
-                            wb_t1 += 1
+                # Empty sets (the common case under frequent harvest
+                # flushes) only need their epoch stamped; TLB entries are
+                # never dirty (no write path reaches a TLB fill), so
+                # reconciliation cannot write back.
+                if cset.valid_mask:
+                    sn = cset.seen_flush
+                    st = sms_t1.get(sn)
+                    if st is None:
+                        st = 0
+                        for rw in range(ways_t1):
+                            if fl_t1[rw] > sn:
+                                st |= 1 << rw
+                        sms_t1[sn] = st
+                    st &= cset.valid_mask
+                    if st:
+                        cset.valid_mask &= ~st
+                        rv = cset.valid
+                        rt = cset.tags
+                        rix = cset.index
+                        while st:
+                            low = st & -st
+                            st ^= low
+                            rw = low.bit_length() - 1
+                            rv[rw] = False
+                            rtag = rt[rw]
+                            rm = rix[rtag] & ~low
+                            if rm:
+                                rix[rtag] = rm
+                            else:
+                                del rix[rtag]
                 cset.seen_flush = ep_t1
             index = cset.index
             mf = index.get(tag)
@@ -467,8 +468,6 @@ class CoreMemory:
                 vbit = 1 << victim
                 if cset.valid_mask & vbit:
                     ev_t1 += 1
-                    if cset.dirty[victim]:
-                        wb_t1 += 1
                     otag = cset.tags[victim]
                     old = index[otag] & ~vbit
                     if old:
@@ -478,7 +477,6 @@ class CoreMemory:
                 cset.tags[victim] = tag
                 cset.valid[victim] = True
                 cset.shared[victim] = sh
-                cset.dirty[victim] = False
                 cset.valid_mask |= vbit
                 index[tag] = mf | vbit if mf else vbit
                 if simple_t1:
@@ -497,35 +495,32 @@ class CoreMemory:
                     cset.seen_flush = ep_t2
                     sets_t2[si] = cset
                 elif cset.seen_flush < ep_t2:
-                    sn = cset.seen_flush
-                    st = sms_t2.get(sn)
-                    if st is None:
-                        st = 0
-                        for rw in range(ways_t2):
-                            if fl_t2[rw] > sn:
-                                st |= 1 << rw
-                        sms_t2[sn] = st
-                    st &= cset.valid_mask
-                    if st:
-                        cset.valid_mask &= ~st
-                        rv = cset.valid
-                        rt = cset.tags
-                        rd = cset.dirty
-                        rix = cset.index
-                        while st:
-                            low = st & -st
-                            st ^= low
-                            rw = low.bit_length() - 1
-                            rv[rw] = False
-                            rtag = rt[rw]
-                            rm = rix[rtag] & ~low
-                            if rm:
-                                rix[rtag] = rm
-                            else:
-                                del rix[rtag]
-                            if rd[rw]:
-                                rd[rw] = False
-                                wb_t2 += 1
+                    if cset.valid_mask:
+                        sn = cset.seen_flush
+                        st = sms_t2.get(sn)
+                        if st is None:
+                            st = 0
+                            for rw in range(ways_t2):
+                                if fl_t2[rw] > sn:
+                                    st |= 1 << rw
+                            sms_t2[sn] = st
+                        st &= cset.valid_mask
+                        if st:
+                            cset.valid_mask &= ~st
+                            rv = cset.valid
+                            rt = cset.tags
+                            rix = cset.index
+                            while st:
+                                low = st & -st
+                                st ^= low
+                                rw = low.bit_length() - 1
+                                rv[rw] = False
+                                rtag = rt[rw]
+                                rm = rix[rtag] & ~low
+                                if rm:
+                                    rix[rtag] = rm
+                                else:
+                                    del rix[rtag]
                     cset.seen_flush = ep_t2
                 index = cset.index
                 mf = index.get(tag)
@@ -554,8 +549,6 @@ class CoreMemory:
                     vbit = 1 << victim
                     if cset.valid_mask & vbit:
                         ev_t2 += 1
-                        if cset.dirty[victim]:
-                            wb_t2 += 1
                         otag = cset.tags[victim]
                         old = index[otag] & ~vbit
                         if old:
@@ -565,7 +558,6 @@ class CoreMemory:
                     cset.tags[victim] = tag
                     cset.valid[victim] = True
                     cset.shared[victim] = sh
-                    cset.dirty[victim] = False
                     cset.valid_mask |= vbit
                     index[tag] = mf | vbit if mf else vbit
                     if simple_t2:
@@ -587,15 +579,17 @@ class CoreMemory:
                     cset.seen_flush = ep_i
                     sets_i[si] = cset
                 elif cset.seen_flush < ep_i:
-                    sn = cset.seen_flush
-                    st = sms_i.get(sn)
-                    if st is None:
-                        st = 0
-                        for rw in range(ways_i):
-                            if fl_i[rw] > sn:
-                                st |= 1 << rw
-                        sms_i[sn] = st
-                    st &= cset.valid_mask
+                    st = cset.valid_mask
+                    if st:
+                        sn = cset.seen_flush
+                        sm = sms_i.get(sn)
+                        if sm is None:
+                            sm = 0
+                            for rw in range(ways_i):
+                                if fl_i[rw] > sn:
+                                    sm |= 1 << rw
+                            sms_i[sn] = sm
+                        st &= sm
                     if st:
                         cset.valid_mask &= ~st
                         rv = cset.valid
@@ -675,15 +669,17 @@ class CoreMemory:
                     cset.seen_flush = ep_d
                     sets_d[si] = cset
                 elif cset.seen_flush < ep_d:
-                    sn = cset.seen_flush
-                    st = sms_d.get(sn)
-                    if st is None:
-                        st = 0
-                        for rw in range(ways_d):
-                            if fl_d[rw] > sn:
-                                st |= 1 << rw
-                        sms_d[sn] = st
-                    st &= cset.valid_mask
+                    st = cset.valid_mask
+                    if st:
+                        sn = cset.seen_flush
+                        sm = sms_d.get(sn)
+                        if sm is None:
+                            sm = 0
+                            for rw in range(ways_d):
+                                if fl_d[rw] > sn:
+                                    sm |= 1 << rw
+                            sms_d[sn] = sm
+                        st &= sm
                     if st:
                         cset.valid_mask &= ~st
                         rv = cset.valid
@@ -764,15 +760,17 @@ class CoreMemory:
                 cset.seen_flush = ep_2
                 sets_2[si] = cset
             elif cset.seen_flush < ep_2:
-                sn = cset.seen_flush
-                st = sms_2.get(sn)
-                if st is None:
-                    st = 0
-                    for rw in range(ways_2):
-                        if fl_2[rw] > sn:
-                            st |= 1 << rw
-                    sms_2[sn] = st
-                st &= cset.valid_mask
+                st = cset.valid_mask
+                if st:
+                    sn = cset.seen_flush
+                    sm = sms_2.get(sn)
+                    if sm is None:
+                        sm = 0
+                        for rw in range(ways_2):
+                            if fl_2[rw] > sn:
+                                sm |= 1 << rw
+                        sms_2[sn] = sm
+                    st &= sm
                 if st:
                     cset.valid_mask &= ~st
                     rv = cset.valid
@@ -852,15 +850,17 @@ class CoreMemory:
                     cset.seen_flush = ep_l
                     sets_l[si] = cset
                 elif cset.seen_flush < ep_l:
-                    sn = cset.seen_flush
-                    st = sms_l.get(sn)
-                    if st is None:
-                        st = 0
-                        for rw in range(ways_l):
-                            if fl_l[rw] > sn:
-                                st |= 1 << rw
-                        sms_l[sn] = st
-                    st &= cset.valid_mask
+                    st = cset.valid_mask
+                    if st:
+                        sn = cset.seen_flush
+                        sm = sms_l.get(sn)
+                        if sm is None:
+                            sm = 0
+                            for rw in range(ways_l):
+                                if fl_l[rw] > sn:
+                                    sm |= 1 << rw
+                            sms_l[sn] = sm
+                        st &= sm
                     if st:
                         cset.valid_mask &= ~st
                         rv = cset.valid
@@ -930,12 +930,19 @@ class CoreMemory:
                 else:
                     onins_l(cset, victim, sh)
 
+            # ``now_ns`` is constant for the batch, so every DRAM access
+            # after the first sees gap == 0 and the EWMA update folds to
+            # ``0.99 * d_avg`` (adding 0.01 * 0 == +0.0 is the identity for
+            # the non-negative averages this model produces).
+            if d_n:
+                d_avg = 0.99 * d_avg
+            else:
+                gap = now_ns - d_last
+                if gap < 0:
+                    gap = 0
+                d_last = now_ns
+                d_avg = 0.99 * d_avg + 0.01 * gap
             d_n += 1
-            gap = now_ns - d_last
-            if gap < 0:
-                gap = 0
-            d_last = now_ns
-            d_avg = 0.99 * d_avg + 0.01 * gap
             if d_avg < d_sat:
                 pressure = min(1.0, d_sat / max(d_avg, 1e-9) - 1.0)
                 total_ns += lat_m[t] + int(d_ns * (1.0 + 2.0 * pressure))

@@ -150,6 +150,15 @@ class ReplacementPolicy:
     def choose_victim(self, cset: CacheSet, incoming_shared: bool, allowed: int) -> int:
         raise NotImplementedError
 
+    def choose_victim_full(
+        self, cset: CacheSet, incoming_shared: bool, allowed: int
+    ) -> int:
+        """:meth:`choose_victim` for callers that already know every allowed
+        way is valid (the batched walk checks ``valid_mask`` first), so the
+        invalid-way scans can be skipped.  Must return exactly what
+        :meth:`choose_victim` would under that precondition."""
+        return self.choose_victim(cset, incoming_shared, allowed)
+
 
 def _first_invalid(cset: CacheSet, allowed: int) -> int:
     for w in range(cset.ways):
@@ -183,6 +192,11 @@ class LruPolicy(ReplacementPolicy):
             return inv
         return _lru_way(cset, allowed)
 
+    def choose_victim_full(
+        self, cset: CacheSet, incoming_shared: bool, allowed: int
+    ) -> int:
+        return _lru_way(cset, allowed)
+
 
 class RripPolicy(ReplacementPolicy):
     """2-bit Static RRIP [37]: insert at RRPV=2, promote to 0 on hit,
@@ -203,6 +217,20 @@ class RripPolicy(ReplacementPolicy):
         inv = _first_invalid(cset, allowed)
         if inv >= 0:
             return inv
+        if not any((allowed >> w) & 1 for w in range(cset.ways)):
+            raise ValueError("no allowed ways in set (allowed mask empty)")
+        rrpv = cset.rrpv
+        while True:
+            for w in range(cset.ways):
+                if (allowed >> w) & 1 and rrpv[w] >= self.MAX_RRPV:
+                    return w
+            for w in range(cset.ways):
+                if (allowed >> w) & 1:
+                    rrpv[w] += 1
+
+    def choose_victim_full(
+        self, cset: CacheSet, incoming_shared: bool, allowed: int
+    ) -> int:
         if not any((allowed >> w) & 1 for w in range(cset.ways)):
             raise ValueError("no allowed ways in set (allowed mask empty)")
         rrpv = cset.rrpv
@@ -238,15 +266,26 @@ class HardHarvestPolicy(ReplacementPolicy):
             )
         self.harvest_mask = harvest_mask
         self.candidate_fraction = candidate_fraction
+        #: allowed-mask -> (allowed way tuple, window size M).  A policy
+        #: instance serves one array, so way counts never vary; the masks
+        #: seen are the partition's two (all-ways / harvest), making this a
+        #: tiny memo that removes the per-call mask decode.
+        self._window_cache: dict = {}
 
     def _candidates(self, cset: CacheSet, allowed: int) -> List[int]:
         """The M least-recently-used allowed ways, LRU-first order."""
-        ways = [w for w in range(cset.ways) if (allowed >> w) & 1]
-        if not ways:
-            raise ValueError("no allowed ways in set (allowed mask empty)")
-        ways.sort(key=lambda w: cset.stamp[w])
-        m = max(1, int(round(len(ways) * self.candidate_fraction)))
-        return ways[:m]
+        cached = self._window_cache.get(allowed)
+        if cached is None:
+            ways = tuple(w for w in range(cset.ways) if (allowed >> w) & 1)
+            if not ways:
+                raise ValueError("no allowed ways in set (allowed mask empty)")
+            m = max(1, int(round(len(ways) * self.candidate_fraction)))
+            cached = (ways, m)
+            self._window_cache[allowed] = cached
+        ways, m = cached
+        # sorted() is stable, so ties resolve by ascending way index exactly
+        # like the reference in-place sort of the ascending-built list did.
+        return sorted(ways, key=cset.stamp.__getitem__)[:m]
 
     def choose_victim(self, cset: CacheSet, incoming_shared: bool, allowed: int) -> int:
         harvest = self.harvest_mask
@@ -283,6 +322,24 @@ class HardHarvestPolicy(ReplacementPolicy):
                 if ((harvest >> w) & 1) == wanted and not shared[w]:
                     return w
         # All candidate slots hold shared entries: evict the LRU candidate.
+        return candidates[0]
+
+    def choose_victim_full(
+        self, cset: CacheSet, incoming_shared: bool, allowed: int
+    ) -> int:
+        # Algorithm 1's empty-slot top half can find nothing when every
+        # allowed way is valid; go straight to the windowed eviction case.
+        candidates = self._candidates(cset, allowed)
+        harvest = self.harvest_mask
+        shared = cset.shared
+        if incoming_shared:
+            regions = (0, 1)  # non-harvest first
+        else:
+            regions = (1, 0)  # harvest first
+        for wanted in regions:
+            for w in candidates:
+                if ((harvest >> w) & 1) == wanted and not shared[w]:
+                    return w
         return candidates[0]
 
 

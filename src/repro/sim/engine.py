@@ -18,7 +18,34 @@ keeps the hot loop cheap enough for multi-second simulated horizons.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, List, Optional, Tuple
+
+#: Environment switch selecting the pre-fast-path reference scheduler:
+#: the one-event-at-a-time engine loop and the scan-based queue
+#: implementations in ``hw/request_queue.py`` / ``cluster/vm.py``.
+#: Results are bit-identical either way — the parity suite proves it — so
+#: the slow path exists only as the baseline for
+#: ``benchmarks/sched_speedup.py`` and as a live replica of the pre-PR
+#: behavior.  Mirrors ``REPRO_MEM_SLOWPATH`` (``mem/cache.py``).
+SCHED_SLOWPATH_ENV = "REPRO_SCHED_SLOWPATH"
+
+
+def sched_slowpath_enabled() -> bool:
+    """True when the reference (pre-fast-path) scheduler is requested.
+
+    Read at *construction* time of each simulator/queue, so flipping the
+    environment variable between runs in one process works.
+    """
+    return os.environ.get(SCHED_SLOWPATH_ENV, "") not in ("", "0")
+
+
+#: Heap-compaction trigger: compact only past this many dead entries
+#: (amortizes the O(n) sweep) and only when they are the majority of the
+#: heap (so each sweep at least halves it).  Module-level so tests can
+#: exercise compaction without scheduling hundreds of timers (override
+#: per-instance via ``Simulator.compact_min_cancelled``).
+COMPACT_MIN_CANCELLED = 512
 
 
 class EventHandle:
@@ -81,6 +108,13 @@ class Simulator:
         self._events_fired = 0
         self._running = False
         self._stop_requested = False
+        #: Instance-level compaction trigger (tests lower it to exercise
+        #: compaction cheaply; see module constant for the rationale).
+        self.compact_min_cancelled = COMPACT_MIN_CANCELLED
+        #: Fast/slow run-loop choice, made once at construction like the
+        #: memory hierarchy's ``slowpath_enabled`` — the batched drain and
+        #: the reference loop fire the same events in the same order.
+        self._batched_run = not sched_slowpath_enabled()
         # Observation-only probe callbacks (telemetry). They live in a side
         # heap with their own sequence counter, so scheduling a probe never
         # touches ``_seq`` — the tie-breaking order, heap contents, and
@@ -166,7 +200,23 @@ class Simulator:
         ``until`` (clock is then advanced to ``until``), after
         ``max_events`` events, or when an event calls :meth:`stop`.
         Returns the number of events fired.
+
+        Two implementations, selected at construction
+        (``REPRO_SCHED_SLOWPATH=1`` keeps the reference): the fast path
+        drains every event sharing a timestamp in one inner loop — the
+        clock, the probe side-heap, and the ``until`` bound are consulted
+        once per *timestamp batch* instead of once per event.  Pop order is
+        the heap's ``(time, seq)`` order either way, so firing order (and
+        therefore every simulation result) is bit-identical.
         """
+        if self._batched_run:
+            return self._run_batched(until, max_events)
+        return self._run_reference(until, max_events)
+
+    def _run_reference(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """The kept pre-fast-path loop: one event per iteration."""
         if self._running:
             raise RuntimeError("simulator is already running (re-entrant run())")
         self._running = True
@@ -201,6 +251,80 @@ class Simulator:
             self._running = False
         return fired
 
+    def _run_batched(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Batched drain: apply every event stamped ``t`` before re-reading
+        the clock or the side-heap.
+
+        Invariants that keep this bit-identical to the reference loop:
+
+        * cancelled *head* entries are skipped without advancing ``now``
+          (a heap tail of dead timers must not move the clock);
+        * probes fire once per timestamp batch, before its first live
+          event — between batches they observe exactly the state the
+          reference loop would have shown them, because only live events
+          mutate state;
+        * an event scheduled at the current timestamp from within the
+          batch (``delay=0``) carries a higher ``seq`` and is picked up by
+          the same drain, exactly where the reference loop would pop it;
+        * ``stop()`` and ``max_events`` are honored between events inside
+          a batch, not just between batches.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stop_requested = False
+        fired = 0
+        base_fired = self._events_fired
+        heap = self._heap
+        heappop = heapq.heappop
+        done = False
+        try:
+            while heap and not done:
+                time, _seq, handle = heap[0]
+                if until is not None and time > until:
+                    break
+                if handle.cancelled:
+                    heappop(heap)
+                    self._cancelled_pending -= 1
+                    continue
+                if self._probes:
+                    self._fire_probes_until(time)
+                self.now = time
+                # Drain every entry stamped `time`.  The heap local stays
+                # valid across mid-batch compaction (`_compact` rewrites
+                # the list in place), and `heap[0]` is re-read every
+                # iteration so newly scheduled same-timestamp events join
+                # the batch in seq order.
+                while True:
+                    heappop(heap)
+                    if handle.cancelled:
+                        self._cancelled_pending -= 1
+                    else:
+                        handle.fired = True
+                        handle._fn(*handle._args)
+                        fired += 1
+                        if self._stop_requested or (
+                            max_events is not None and fired >= max_events
+                        ):
+                            done = True
+                            break
+                    if not heap or heap[0][0] != time:
+                        break
+                    handle = heap[0][2]
+                # Fold the batch's count back at the barrier so probes (and
+                # anything else reading between batches) see a live total.
+                self._events_fired = base_fired + fired
+            if until is not None and self.now < until and not self._stop_requested:
+                if self._probes:
+                    self._fire_probes_until(until)
+                self.now = until
+        finally:
+            self._events_fired = base_fired + fired
+            self._running = False
+        return fired
+
     def stop(self) -> None:
         """Request that the current :meth:`run` return after this event."""
         self._stop_requested = True
@@ -215,16 +339,11 @@ class Simulator:
     # ------------------------------------------------------------------
     # Cancellation accounting
     # ------------------------------------------------------------------
-    #: Compact only past this many dead entries (amortizes the O(n) sweep)
-    #: and only when they are the majority of the heap (so each sweep at
-    #: least halves it).
-    _COMPACT_MIN_CANCELLED = 512
-
     def _note_cancelled(self) -> None:
         """A pending event was cancelled (called by its handle)."""
         n = self._cancelled_pending + 1
         self._cancelled_pending = n
-        if n > self._COMPACT_MIN_CANCELLED and 2 * n > len(self._heap):
+        if n > self.compact_min_cancelled and 2 * n > len(self._heap):
             self._compact()
 
     def _compact(self) -> None:

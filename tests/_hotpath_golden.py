@@ -1,4 +1,4 @@
-"""Shared golden-digest machinery for the memory fast-path parity suite.
+"""Shared golden-digest machinery for the fast-path parity suites.
 
 The digest of a run is the sha256 of the canonical JSON of its full
 :class:`~repro.core.metrics.ServerResult` — every latency percentile,
@@ -7,7 +7,9 @@ perturbation introduced by a hot-path change flips the digest.
 
 ``tests/data/golden_hotpath.json`` pins the digests produced by the
 original (pre-fast-path) per-access implementation; the parity tests
-assert the fast path reproduces them bit-for-bit.  Regenerate with::
+assert that the memory fast path, the scheduler fast path
+(``REPRO_SCHED_SLOWPATH``), and every combination reproduce them
+bit-for-bit.  Regenerate with::
 
     PYTHONPATH=src python tests/_hotpath_golden.py --write
 """
@@ -19,7 +21,7 @@ import json
 import os
 from dataclasses import replace
 
-from repro.config import SimulationConfig
+from repro.config import SimulationConfig, TelemetryConfig
 from repro.core.experiment import run_server
 from repro.core.export import server_result_to_dict
 from repro.core.presets import harvest_block, hardharvest_block
@@ -41,22 +43,31 @@ SEEDS = (0, 1, 2)
 #: pressure, short enough for the suite to stay fast.
 _BASE_SIM = dict(horizon_ms=30.0, warmup_ms=6.0, accesses_per_segment=12)
 
-#: One faulted configuration so resilience metrics are pinned too.
+#: Configuration variants pinned beyond the plain seeds: one faulted run
+#: per system (resilience metrics participate in the digest) and one
+#: telemetry-enabled run per system (telemetry's zero-perturbation
+#: contract means its digest must equal the plain seed-0 one — the pin
+#: catches any probe or tracer that starts leaking into results).
 _FAULT_SCENARIO = "crash-storm"
+VARIANTS = ("", _FAULT_SCENARIO, "telemetry")
 
 
-def _simcfg(seed: int, faulted: bool) -> SimulationConfig:
+def _simcfg(seed: int, variant: str = "") -> SimulationConfig:
     cfg = SimulationConfig(seed=seed, **_BASE_SIM)
-    if faulted:
+    if variant == _FAULT_SCENARIO:
         scenario = get_scenario(_FAULT_SCENARIO, _BASE_SIM["horizon_ms"])
         cfg = replace(cfg, faults=scenario.schedule, client=scenario.client)
+    elif variant == "telemetry":
+        cfg = replace(cfg, telemetry=TelemetryConfig(enabled=True))
+    elif variant:
+        raise ValueError(f"unknown golden variant {variant!r}")
     return cfg
 
 
-def run_digest(system_key: str, seed: int, faulted: bool = False) -> str:
+def run_digest(system_key: str, seed: int, variant: str = "") -> str:
     """Run one pinned configuration and return its result digest."""
     system = SYSTEMS[system_key]()
-    result = run_server(system, _simcfg(seed, faulted))
+    result = run_server(system, _simcfg(seed, variant))
     payload = canonical_json(server_result_to_dict(result))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -64,20 +75,22 @@ def run_digest(system_key: str, seed: int, faulted: bool = False) -> str:
 def all_cases():
     for system_key in SYSTEMS:
         for seed in SEEDS:
-            yield system_key, seed, False
-    # Resilience: one seed per system keeps the faulted half affordable.
+            yield system_key, seed, ""
+    # Resilience and telemetry: one seed per system keeps them affordable.
     for system_key in SYSTEMS:
-        yield system_key, 0, True
+        yield system_key, 0, _FAULT_SCENARIO
+    for system_key in SYSTEMS:
+        yield system_key, 0, "telemetry"
 
 
-def case_label(system_key: str, seed: int, faulted: bool) -> str:
-    return f"{system_key}/seed{seed}" + ("/crash-storm" if faulted else "")
+def case_label(system_key: str, seed: int, variant: str = "") -> str:
+    return f"{system_key}/seed{seed}" + (f"/{variant}" if variant else "")
 
 
 def compute_all() -> dict:
     return {
-        case_label(sk, seed, faulted): run_digest(sk, seed, faulted)
-        for sk, seed, faulted in all_cases()
+        case_label(sk, seed, variant): run_digest(sk, seed, variant)
+        for sk, seed, variant in all_cases()
     }
 
 

@@ -1,15 +1,22 @@
-"""Cancellation edge cases in the event engine.
+"""Cancellation and batched-drain edge cases in the event engine.
 
 The fault subsystem leans on two guarantees that plain happy-path tests
 don't exercise: cancelling an event from *within* another event that
 fires at the same timestamp (deadline timers racing completions), and
 the lifecycle of a handle after cancellation (stale-handle bookkeeping
 via :attr:`EventHandle.active`).
+
+The second half targets the batched same-timestamp drain
+(:meth:`Simulator._run_batched`): zero-delay events joining the current
+batch, stop()/max_events honored mid-batch, heap compaction triggered
+*inside* a drain, and probes firing between batches — each checked
+against the reference loop (``REPRO_SCHED_SLOWPATH=1``) where the
+orderings are subtle.
 """
 
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import SCHED_SLOWPATH_ENV, Simulator
 
 
 def test_cancel_sibling_at_same_timestamp():
@@ -198,3 +205,212 @@ def test_rearm_must_target_now_or_later():
         sim.schedule_at(9, lambda: None)
     h = sim.schedule_at(10, lambda: None)  # now itself is fine
     assert h.active
+
+
+# ----------------------------------------------------------------------
+# Batched same-timestamp drain
+# ----------------------------------------------------------------------
+
+def _both_paths(monkeypatch, scenario):
+    """Run ``scenario(sim) -> trace`` under the batched and the reference
+    loop; return both traces. The simulator is constructed *after* the
+    environment flip because the path choice is made at construction."""
+    monkeypatch.delenv(SCHED_SLOWPATH_ENV, raising=False)
+    fast = scenario(Simulator())
+    monkeypatch.setenv(SCHED_SLOWPATH_ENV, "1")
+    slow = scenario(Simulator())
+    return fast, slow
+
+
+def test_mixed_schedule_cancel_rearm_matches_reference(monkeypatch):
+    """A same-timestamp soup of schedule/cancel/re-arm fires identically
+    under the batched drain and the reference loop.
+
+    The first event at t=10 cancels one sibling, re-arms another at the
+    same timestamp (delay=0 -> joins the current batch), and schedules a
+    future event; the trace (tag, now) pairs must match exactly.
+    """
+
+    def scenario(sim):
+        trace = []
+
+        def note(tag):
+            trace.append((tag, sim.now))
+
+        def first():
+            note("first")
+            victim.cancel()
+            sim.schedule(0, note, "rearmed")  # joins the t=10 batch
+            sim.schedule(5, note, "future")
+
+        sim.schedule(10, first)
+        victim = sim.schedule(10, note, "victim")
+        sim.schedule(10, note, "survivor")
+        sim.run()
+        return trace
+
+    fast, slow = _both_paths(monkeypatch, scenario)
+    assert fast == slow
+    assert fast == [
+        ("first", 10), ("survivor", 10), ("rearmed", 10), ("future", 15),
+    ]
+
+
+def test_zero_delay_chain_drains_in_one_batch():
+    """delay=0 events scheduled from within a batch keep extending it, in
+    seq order, without the clock moving."""
+    sim = Simulator()
+    trace = []
+
+    def chain(depth):
+        trace.append((depth, sim.now))
+        if depth < 4:
+            sim.schedule(0, chain, depth + 1)
+
+    sim.schedule(7, chain, 0)
+    sim.schedule(7, trace.append, "sibling")
+    sim.run()
+    # The sibling (seq 2) fires before the chain's continuations (seq 3+).
+    assert trace == [(0, 7), "sibling", (1, 7), (2, 7), (3, 7), (4, 7)]
+    assert sim.now == 7
+
+
+def test_stop_mid_batch_suppresses_same_timestamp_tail(monkeypatch):
+    """stop() from inside a batch halts before the next same-timestamp
+    event — identical to the reference loop's behavior."""
+
+    def scenario(sim):
+        trace = []
+        sim.schedule(10, trace.append, "a")
+        sim.schedule(10, lambda: (trace.append("stop"), sim.stop()))
+        sim.schedule(10, trace.append, "never")
+        fired = sim.run()
+        return trace, fired, sim.pending_live_events
+
+    fast, slow = _both_paths(monkeypatch, scenario)
+    assert fast == slow == (["a", "stop"], 2, 1)
+
+
+def test_max_events_honored_mid_batch(monkeypatch):
+    """max_events cuts a batch short at exactly the same event as the
+    reference loop, and events_fired stays consistent."""
+
+    def scenario(sim):
+        trace = []
+        for i in range(5):
+            sim.schedule(10, trace.append, i)
+        fired = sim.run(max_events=3)
+        return trace, fired, sim.events_fired
+
+    fast, slow = _both_paths(monkeypatch, scenario)
+    assert fast == slow == ([0, 1, 2], 3, 3)
+
+
+def test_compaction_mid_drain_keeps_batch_coherent():
+    """An event that mass-cancels siblings *in the same batch* can trigger
+    in-place heap compaction while the drain loop holds its heap local;
+    survivors (same and later timestamps) must still fire in order.
+
+    Uses the instance-level ``compact_min_cancelled`` override so the
+    sweep triggers at a test-sized heap.
+    """
+    sim = Simulator()
+    sim.compact_min_cancelled = 8
+    trace = []
+    victims = []
+
+    def massacre():
+        trace.append("massacre")
+        for h in victims:
+            h.cancel()  # crosses the threshold -> _compact() mid-batch
+
+    sim.schedule(10, massacre)
+    for i in range(30):
+        victims.append(sim.schedule(10, trace.append, f"dead{i}"))
+    sim.schedule(10, trace.append, "same-t-survivor")
+    sim.schedule(20, trace.append, "later-survivor")
+    fired = sim.run()
+    assert trace == ["massacre", "same-t-survivor", "later-survivor"]
+    assert fired == 3
+    assert sim.pending_events == 0 and sim.pending_live_events == 0
+
+
+def test_compaction_mid_drain_matches_reference(monkeypatch):
+    """The mid-drain compaction scenario fires identically under the
+    reference loop (which compacts the same way but pops one event at a
+    time)."""
+
+    def scenario(sim):
+        sim.compact_min_cancelled = 8
+        trace = []
+        victims = []
+
+        def massacre():
+            trace.append(("massacre", sim.now))
+            for h in victims[::2]:
+                h.cancel()
+
+        sim.schedule(10, massacre)
+        for i in range(40):
+            victims.append(sim.schedule(10 + (i % 3), trace.append, (i, "v")))
+        sim.run()
+        return trace
+
+    fast, slow = _both_paths(monkeypatch, scenario)
+    assert fast == slow
+    assert len(fast) == 1 + 20  # massacre + odd-indexed survivors
+
+
+def test_probes_fire_between_batches():
+    """Probes between two timestamp batches observe the state after the
+    whole first batch — including the folded events_fired counter."""
+    sim = Simulator()
+    seen = []
+    for _ in range(3):
+        sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    sim.schedule_probe(15, lambda: seen.append((sim.now, sim.events_fired)))
+    sim.run()
+    assert seen == [(15, 3)]  # all of batch t=10, none of t=20
+    assert sim.now == 20
+
+
+def test_probe_at_batch_timestamp_fires_before_first_live_event():
+    """A probe stamped exactly at a batch's timestamp fires before the
+    batch's first live event (same as the reference loop: probes drain
+    up to t before the event at t runs)."""
+    sim = Simulator()
+    trace = []
+    sim.schedule(10, trace.append, "event")
+    sim.schedule_probe(10, lambda: trace.append(("probe", sim.events_fired)))
+    sim.run()
+    assert trace == [("probe", 0), "event"]
+
+
+def test_probe_between_batches_matches_reference(monkeypatch):
+    """Probe interleaving with zero-delay batch extension is identical
+    under both loops: continuations scheduled into the current batch fire
+    before a probe stamped between this batch and the next.
+
+    Events record only ``(tag, now)`` — ``events_fired`` is a
+    barrier-consistent counter (folded once per batch), so only probes,
+    which always run at barriers, may assert on it.
+    """
+
+    def scenario(sim):
+        trace = []
+
+        def ev(tag):
+            trace.append((tag, sim.now))
+            if tag == "a":
+                sim.schedule(0, ev, "a0")
+
+        sim.schedule(10, ev, "a")
+        sim.schedule(30, ev, "b")
+        sim.schedule_probe(20, lambda: trace.append(("p", sim.now, sim.events_fired)))
+        sim.run()
+        return trace
+
+    fast, slow = _both_paths(monkeypatch, scenario)
+    assert fast == slow
+    assert [t[0] for t in fast] == ["a", "a0", "p", "b"]

@@ -1,11 +1,14 @@
-"""Bit-identity guard for the memory-hierarchy fast path.
+"""Bit-identity guard for the memory and scheduler fast paths.
 
-The batched fast path (:meth:`CoreMemory.access_batch`, vectorized
-sampling, hashed per-set tag indexes) must reproduce the reference
-per-access implementation *exactly* — every counter, latency percentile,
+The batched memory fast path (:meth:`CoreMemory.access_batch`, vectorized
+sampling, hashed per-set tag indexes) and the scheduler fast path (the
+engine's batched same-timestamp drain, the subqueue status-code mirrors,
+the NumPy ready-scan kernels) must reproduce the reference per-access /
+per-event implementations *exactly* — every counter, latency percentile,
 and resilience metric.  ``tests/data/golden_hotpath.json`` pins digests
-computed by the reference implementation; these tests hold the fast path
-(the default) and the live slow path (``REPRO_MEM_SLOWPATH=1``) to them.
+computed by the reference implementation; these tests hold the default
+fast paths and every live slow-path combination (``REPRO_MEM_SLOWPATH``,
+``REPRO_SCHED_SLOWPATH``) to them.
 
 Regenerate the pins (only when intentionally changing simulation
 behavior) with ``PYTHONPATH=src python tests/_hotpath_golden.py --write``.
@@ -14,39 +17,96 @@ behavior) with ``PYTHONPATH=src python tests/_hotpath_golden.py --write``.
 import pytest
 
 from repro.core.experiment import run_server_raw
-from repro.core.presets import hardharvest_block
+from repro.core.presets import harvest_block, hardharvest_block
 from repro.config import SimulationConfig
+from repro.hw.request_queue import (
+    CODE_BLOCKED,
+    CODE_READY,
+    CODE_RUNNING,
+    RequestStatus,
+)
+from repro.hw.sched_kernels import READY_BYTE
 from repro.mem.cache import SLOWPATH_ENV
+from repro.sim.engine import SCHED_SLOWPATH_ENV
 
 from tests._hotpath_golden import all_cases, case_label, load_golden, run_digest
 
 GOLDEN = load_golden()
 CASES = list(all_cases())
 
+_STATUS_CODE = {
+    RequestStatus.READY: CODE_READY,
+    RequestStatus.RUNNING: CODE_RUNNING,
+    RequestStatus.BLOCKED: CODE_BLOCKED,
+}
+
 
 @pytest.mark.parametrize(
-    "system_key,seed,faulted",
+    "system_key,seed,variant",
     CASES,
     ids=[case_label(*c) for c in CASES],
 )
-def test_fast_path_matches_golden(system_key, seed, faulted):
-    """Default (fast) path reproduces the pinned reference digests."""
-    assert run_digest(system_key, seed, faulted) == GOLDEN[
-        case_label(system_key, seed, faulted)
+def test_fast_path_matches_golden(system_key, seed, variant):
+    """Default (fast) paths reproduce the pinned reference digests."""
+    assert run_digest(system_key, seed, variant) == GOLDEN[
+        case_label(system_key, seed, variant)
     ]
 
 
+def test_telemetry_is_zero_perturbation():
+    """The pinned telemetry-on digests equal the plain seed-0 digests.
+
+    Telemetry's contract is that enabling it never changes simulation
+    results; checking it at the pin level (instead of re-running) makes
+    the golden file itself document the property.
+    """
+    for system_key in ("SW", "HardHarvest"):
+        assert GOLDEN[case_label(system_key, 0, "telemetry")] == GOLDEN[
+            case_label(system_key, 0)
+        ]
+
+
 @pytest.mark.parametrize("system_key", ["SW", "HardHarvest"])
-def test_slow_path_matches_golden(system_key, monkeypatch):
-    """The in-tree reference implementation still produces the pins.
+def test_mem_slow_path_matches_golden(system_key, monkeypatch):
+    """The in-tree memory reference implementation still produces the pins.
 
     One seed per system keeps this affordable; it guards the *baseline*
     of ``benchmarks/hotpath_speedup.py`` against silent drift (a speedup
     measured against a broken reference would be meaningless).
     """
     monkeypatch.setenv(SLOWPATH_ENV, "1")
-    assert run_digest(system_key, 0) == GOLDEN[case_label(system_key, 0, False)]
+    assert run_digest(system_key, 0) == GOLDEN[case_label(system_key, 0)]
 
+
+@pytest.mark.parametrize("system_key", ["SW", "HardHarvest"])
+def test_sched_slow_path_matches_golden(system_key, monkeypatch):
+    """The reference event loop + object-walk queue scans produce the pins.
+
+    Guards the baseline of ``benchmarks/sched_speedup.py`` the same way
+    the memory slow-path test guards ``hotpath_speedup.py``.
+    """
+    monkeypatch.setenv(SCHED_SLOWPATH_ENV, "1")
+    assert run_digest(system_key, 0) == GOLDEN[case_label(system_key, 0)]
+
+
+@pytest.mark.parametrize("system_key", ["SW", "HardHarvest"])
+def test_both_slow_paths_match_golden(system_key, monkeypatch):
+    """Both reference implementations together — the combined-speedup
+    denominator of ``benchmarks/sched_speedup.py`` — still match."""
+    monkeypatch.setenv(SLOWPATH_ENV, "1")
+    monkeypatch.setenv(SCHED_SLOWPATH_ENV, "1")
+    assert run_digest(system_key, 0) == GOLDEN[case_label(system_key, 0)]
+
+
+def test_ready_byte_matches_code_ready():
+    """The NumPy scan kernel and the subqueue mirror agree on the READY
+    encoding (and on READY == 0, which ``bytearray.find(0)`` relies on)."""
+    assert READY_BYTE == CODE_READY == 0
+
+
+# ----------------------------------------------------------------------
+# Structural mirror invariants
+# ----------------------------------------------------------------------
 
 def _check_array(arr, label):
     """The hashed index and valid_mask must mirror the per-way truth."""
@@ -59,6 +119,27 @@ def _check_array(arr, label):
                 expect_index[cset.tags[w]] = expect_index.get(cset.tags[w], 0) | (1 << w)
         assert cset.valid_mask == expect_mask, f"{label} set {set_index}"
         assert cset.index == expect_index, f"{label} set {set_index}"
+
+
+def _check_subqueue(sq, label):
+    """``_codes``/``_ready_count`` must mirror the entry objects exactly."""
+    assert len(sq._codes) == len(sq.entries), label
+    for i, entry in enumerate(sq.entries):
+        assert sq._codes[i] == _STATUS_CODE[entry.status], f"{label} entry {i}"
+    ready = sum(1 for e in sq.entries if e.status is RequestStatus.READY)
+    assert sq._ready_count == ready, label
+
+
+def _subqueues(sim):
+    """Every live subqueue of a finished server simulation, labeled."""
+    out = []
+    for vm in sim.primary_vms:
+        queue = vm.queue
+        sq = getattr(queue, "_sq", None)  # SoftwareQueue
+        if sq is None:
+            sq = queue.qm.subqueue  # SharedQueueAdapter
+        out.append((sq, f"vm{vm.vm_id}.{type(queue).__name__}"))
+    return out
 
 
 def test_index_consistency_after_run():
@@ -89,3 +170,26 @@ def test_index_consistency_after_run():
         _check_array(arr, label)
         seen += len(arr.sets)
     assert seen > 100  # the run genuinely touched the hierarchy
+
+
+@pytest.mark.parametrize(
+    "preset",
+    [harvest_block, hardharvest_block],
+    ids=["SW", "HardHarvest"],
+)
+def test_queue_mirror_consistency_after_run(preset):
+    """After a full run every subqueue's status-code mirror is coherent.
+
+    ``_codes`` must track ``entries[i].status`` positionally and
+    ``_ready_count`` must equal the number of READY entries — the
+    invariant every fast-path enqueue/dequeue/block/shed must preserve.
+    Covers both queue shapes: software per-core steering queues and the
+    hardware QM subqueues.
+    """
+    sim = run_server_raw(
+        preset(),
+        SimulationConfig(seed=0, horizon_ms=10.0, warmup_ms=2.0,
+                         accesses_per_segment=8),
+    )
+    for sq, label in _subqueues(sim):
+        _check_subqueue(sq, label)
