@@ -12,6 +12,10 @@ the CLI writes and asserts the same invariants explicitly:
   ``digest`` (the sharding-determinism gate for ``cluster-smoke``).
 * ``fault-counters FILE`` — the exported fault-scenario JSON carries
   sane degradation counters for every system.
+* ``chaos-stats FILE...`` — each chaos-soak record proves SIGKILL
+  recovery was bit-identical (resumed digest == uninterrupted digest)
+  and that the resume actually replayed checkpoints; with several files,
+  they must all share one uninterrupted digest (worker-count parity).
 
 Exit code 0 on success; 1 with a diagnostic on the first violated
 invariant.
@@ -104,6 +108,41 @@ def check_fault_counters(args: argparse.Namespace) -> int:
     return 0
 
 
+def check_chaos_stats(args: argparse.Namespace) -> int:
+    reference_digests = {}
+    for path in args.files:
+        record = _load(path)
+        if not record.get("digests_equal"):
+            return _fail(
+                f"{path}: resumed digest {record.get('resumed_digest')} != "
+                f"uninterrupted {record.get('uninterrupted_digest')}"
+            )
+        if record["resumed_digest"] != record["uninterrupted_digest"]:
+            return _fail(f"{path}: digests_equal flag lies: {record}")
+        if record.get("resumed_from_epoch", 0) < 1:
+            return _fail(
+                f"{path}: resume started from epoch "
+                f"{record.get('resumed_from_epoch')} — no checkpoint was "
+                f"actually replayed"
+            )
+        if not record.get("killed"):
+            # Still digest-identical, but the soak lost its teeth; note it
+            # loudly so a chronically-too-fast victim gets retuned.
+            print(f"WARN: {path}: victim finished before the SIGKILL; "
+                  f"resume was a full checkpoint replay")
+        if not record.get("resilience_curve"):
+            return _fail(f"{path}: no per-epoch resilience curve recorded")
+        reference_digests[path] = record["uninterrupted_digest"]
+    if len(set(reference_digests.values())) != 1:
+        lines = "\n".join(f"  {p}: {d}" for p, d in reference_digests.items())
+        return _fail(
+            f"uninterrupted digests differ across worker counts:\n{lines}"
+        )
+    print(f"OK: {len(args.files)} chaos record(s), recovery bit-identical, "
+          f"shared digest {next(iter(reference_digests.values()))[:16]}…")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -126,6 +165,11 @@ def main(argv=None) -> int:
     p.add_argument("--crashes", type=int, default=3,
                    help="expected crash/restart count per system")
     p.set_defaults(func=check_fault_counters)
+
+    p = sub.add_parser("chaos-stats",
+                       help="assert SIGKILL-and-resume digest parity")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=check_chaos_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -68,7 +68,7 @@ from repro.faults import (
 # entries so cached and recomputed results stay bit-identical.
 # 1.2.0: SimulationConfig grew the ``telemetry`` field (serialized, hence
 # part of every cache key); the bump invalidates pre-telemetry entries.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.parallel import (  # noqa: E402 - needs __version__ for cache keys
     ResultCache,

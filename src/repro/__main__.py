@@ -10,6 +10,11 @@ Commands
 ``faults``   — run a canned fault scenario (:mod:`repro.faults`) and report
                the degradation profile (goodput, retry amplification, SLO
                violations, time-to-recovery) per system.
+``chaos``    — SIGKILL-and-resume soak: run a fault-plan cluster
+               simulation, kill the orchestrator mid-run, resume it from
+               its epoch checkpoints, and assert the recovered digest is
+               bit-identical to an uninterrupted run
+               (:mod:`repro.cluster_scale.chaos`).
 ``storage``  — print the Section 6.8 hardware cost accounting.
 ``trace``    — run one system with telemetry enabled and export a
                Perfetto trace, a gauge time-series CSV, and the
@@ -27,6 +32,9 @@ Examples::
     python -m repro sweep --systems all --seeds 0..7 --workers 4
     python -m repro faults --scenario crash-storm --workers 2
     python -m repro faults --list
+    python -m repro cluster --servers 8 --requests 4000 --epochs 4 \\
+        --fault-plan crash-storm --checkpoint
+    python -m repro chaos --servers 3 --epochs 4 --workers 2
     python -m repro storage
     python -m repro trace --system HardHarvest-Block --out traces/
     python -m repro profile --horizon-ms 60 --sort tottime --top 15
@@ -156,6 +164,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         or args.json is not None
         or args.csv is not None
         or args.stats_json is not None
+        or args.fault_plan is not None
+        or args.checkpoint
+        or args.resume is not None
     )
     if not scale_mode:
         simcfg = replace(_sim_config(args), servers_to_simulate=args.servers)
@@ -172,15 +183,23 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     # ------------------------------------------------------------------
     # Sharded cluster-scale path (repro.cluster_scale).
     # ------------------------------------------------------------------
+    import dataclasses
+    import os
+
     from repro.analysis.report import format_cluster_scale_report
     from repro.cluster_scale import (
         ROUTING_POLICY_NAMES,
+        CheckpointStore,
         ClusterScaleConfig,
         RoutingPolicy,
+        cluster_plan_names,
+        cluster_run_key,
+        get_cluster_plan,
         run_cluster_scale,
     )
     from repro.core.export import write_cluster_scale_csv, write_cluster_scale_json
     from repro.parallel import DeterminismError, ResultCache, SweepError
+    from repro.workloads.batch import BATCH_JOBS
 
     routing_name = args.routing or RoutingPolicy.ROUND_ROBIN.value
     if routing_name not in ROUTING_POLICY_NAMES:
@@ -194,6 +213,19 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 system.cluster, harvest_vm_base_cores=args.harvest_base
             ),
         )
+    plan = None
+    if args.fault_plan is not None:
+        try:
+            plan = get_cluster_plan(args.fault_plan, args.servers, args.epochs)
+        except KeyError:
+            print(f"unknown fault plan {args.fault_plan!r}; choose from "
+                  f"{cluster_plan_names()}", file=sys.stderr)
+            return 2
+        if args.cooldown is not None:
+            plan = dataclasses.replace(plan, cooldown_epochs=args.cooldown)
+        print(f"fault plan {args.fault_plan} "
+              f"(cooldown {plan.cooldown_epochs} epoch(s)):")
+        print(plan.describe())
     simcfg = replace(_sim_config(args), servers_to_simulate=args.servers)
     try:
         cfg = ClusterScaleConfig(
@@ -206,10 +238,27 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             rebalance=not args.no_rebalance,
             harvest_min_cores=args.harvest_min,
             harvest_max_cores=args.harvest_max,
+            fault_plan=plan,
         )
     except ValueError as exc:
         print(f"bad cluster configuration: {exc}", file=sys.stderr)
         return 2
+
+    checkpoint = None
+    run_key = None
+    if args.checkpoint or args.resume is not None:
+        run_key = cluster_run_key(system, simcfg, cfg, list(BATCH_JOBS))
+        if args.resume is not None and args.resume != run_key:
+            print(f"--resume {args.resume} does not match this "
+                  f"configuration's run key {run_key}; refusing to mix "
+                  "checkpoints across experiments", file=sys.stderr)
+            return 2
+        checkpoint_dir = args.checkpoint_dir or os.path.join(
+            args.cache_dir, "checkpoints"
+        )
+        checkpoint = CheckpointStore(root=checkpoint_dir, run_key=run_key)
+        print(f"checkpointing to {checkpoint.run_dir} (run key {run_key})")
+
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
     try:
         result = run_cluster_scale(
@@ -220,6 +269,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             cache=cache,
             task_timeout=args.task_timeout,
             progress=lambda msg: print(f"[cluster] {msg}", flush=True),
+            checkpoint=checkpoint,
         )
     except (SweepError, DeterminismError) as exc:
         print(f"cluster run failed: {exc}", file=sys.stderr)
@@ -255,8 +305,59 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             "workers": args.workers,
             "elapsed_s": result.elapsed_s,
             "cache": cache.stats.as_dict() if cache is not None else None,
+            "fault_plan": args.fault_plan,
+            "resilience_curve": result.resilience_curve(),
+            "resumed_from_epoch": result.resumed_epochs,
+            "checkpoint_run_key": run_key,
         })
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """SIGKILL-and-resume soak over a fault-plan cluster run."""
+    from repro.cluster_scale import cluster_plan_names
+    from repro.cluster_scale.chaos import run_chaos_soak
+
+    if args.plan not in cluster_plan_names():
+        print(f"unknown fault plan {args.plan!r}; choose from "
+              f"{cluster_plan_names()}", file=sys.stderr)
+        return 2
+    try:
+        record = run_chaos_soak(
+            system_name=args.system,
+            servers=args.servers,
+            requests=args.requests,
+            epochs=args.epochs,
+            epoch_ms=args.horizon_ms,
+            routing=args.routing,
+            plan_name=args.plan,
+            seed=args.seed,
+            accesses=args.accesses,
+            workers=args.workers,
+            kill_after_epochs=args.kill_after,
+            progress=lambda msg: print(f"[chaos] {msg}", flush=True),
+        )
+    except (RuntimeError, ValueError) as exc:
+        print(f"chaos soak failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"\nuninterrupted digest  {record['uninterrupted_digest']}")
+    print(f"resumed digest        {record['resumed_digest']}")
+    print(f"victim killed: {record['killed']}, resumed from epoch "
+          f"{record['resumed_from_epoch']} "
+          f"({record['checkpoints_on_disk']} checkpoint(s) survived)")
+    for entry in record["resilience_curve"]:
+        print(f"  epoch {entry['epoch']}: goodput {entry['goodput']:.3f}, "
+              f"retry-amp {entry['retry_amplification']:.3f}, "
+              f"TTR {entry['recovery_ms_max']:.1f} ms")
+    if args.out:
+        _write_stats_json(args.out, record)
+    if record["digests_equal"]:
+        print("\nrecovery is bit-identical: PASS")
+        return 0
+    print("\nrecovery digest MISMATCH: the resumed run diverged from the "
+          "uninterrupted run", file=sys.stderr)
+    return 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -572,6 +673,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rebalancer lower bound on harvest cores")
     p_cl.add_argument("--harvest-max", type=int, default=4,
                       help="rebalancer upper bound on harvest cores")
+    p_cl.add_argument("--fault-plan", default=None,
+                      help="canned cluster fault plan: crash-storm | "
+                           "brownout-wave | slow-core-epidemic")
+    p_cl.add_argument("--cooldown", type=int, default=None,
+                      help="epochs a crashed server stays excluded from "
+                           "routing (default: the plan's own setting)")
+    p_cl.add_argument("--checkpoint", action="store_true",
+                      help="persist a digest-stamped checkpoint at every "
+                           "epoch barrier and auto-resume from matching "
+                           "checkpoints")
+    p_cl.add_argument("--checkpoint-dir", default=None,
+                      help="checkpoint directory (default "
+                           "<cache-dir>/checkpoints)")
+    p_cl.add_argument("--resume", default=None, metavar="RUN_KEY",
+                      help="resume the run with this checkpoint run key "
+                           "(refuses to start if the key does not match "
+                           "the given configuration)")
     p_cl.add_argument("--no-cache", action="store_true",
                       help="recompute every point; do not touch the cache")
     p_cl.add_argument("--cache-dir", default=".repro_cache",
@@ -632,6 +750,32 @@ def build_parser() -> argparse.ArgumentParser:
                            "asserts on instead of grepping stdout)")
     common(p_ft)
     p_ft.set_defaults(func=cmd_faults)
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="SIGKILL-and-resume soak: kill a checkpointing cluster run "
+             "mid-flight, resume, assert bit-identical recovery",
+    )
+    p_ch.add_argument("--system", default="HardHarvest-Block",
+                      choices=SYSTEM_NAMES)
+    p_ch.add_argument("--servers", type=int, default=3)
+    p_ch.add_argument("--requests", type=int, default=2400,
+                      help="total routed requests (default 2400)")
+    p_ch.add_argument("--epochs", type=int, default=4,
+                      help="epochs (>= 2 so there is a barrier to kill at)")
+    p_ch.add_argument("--routing", default="p2c",
+                      help="round-robin | least-loaded | p2c (default p2c)")
+    p_ch.add_argument("--plan", default="crash-storm",
+                      help="cluster fault plan (default crash-storm)")
+    p_ch.add_argument("--workers", type=int, default=1,
+                      help="worker count for all three runs")
+    p_ch.add_argument("--kill-after", type=int, default=1,
+                      help="checkpointed epochs required before SIGKILL "
+                           "(default 1)")
+    p_ch.add_argument("--out", default=None,
+                      help="write the chaos benchmark record JSON here")
+    common(p_ch)
+    p_ch.set_defaults(func=cmd_chaos, horizon_ms=25.0, accesses=2)
 
     p_tr = sub.add_parser(
         "trace", help="run with telemetry and export Perfetto/CSV artifacts"

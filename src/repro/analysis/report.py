@@ -135,6 +135,13 @@ def format_cluster_scale_report(result) -> str:
     mean busy cores, cluster batch throughput, routing cost imbalance,
     rebalance moves) plus the merged cluster summary and the run digest —
     the value the determinism smoke compares across worker counts.
+
+    Fault-plan runs grow a second per-epoch table — the PR-3 degradation
+    metrics (goodput, retry amplification, SLO violations, worst
+    time-to-recovery) reduced cluster-wide at each barrier, plus the
+    health feedback (crashes observed, servers excluded from routing).
+    Nominal runs carry no resilience counters and print exactly the
+    pre-resilience report.
     """
     rows: Dict[str, List[float]] = {}
     for epoch in result.epochs:
@@ -163,6 +170,28 @@ def format_cluster_scale_report(result) -> str:
             CLUSTER_SCALE_COLUMNS,
             rows,
         ),
+    ]
+    resilience_rows = {}
+    for epoch in result.epochs:
+        epoch_summary = epoch.resilience_summary()
+        if epoch_summary:
+            holder = type("Row", (), {})()
+            holder.resilience = epoch_summary
+            resilience_rows[f"epoch {epoch.epoch}"] = holder
+    if resilience_rows:
+        lines += ["", format_resilience_table(resilience_rows)]
+        health_bits = []
+        for epoch in result.epochs:
+            if epoch.health and (epoch.health["crashed"]
+                                 or epoch.health["excluded"]):
+                health_bits.append(
+                    f"epoch {epoch.epoch}: "
+                    f"crashed {epoch.health['crashed'] or '-'}, "
+                    f"routing excluded {epoch.health['excluded'] or '-'}"
+                )
+        if health_bits:
+            lines.append("health: " + "; ".join(health_bits))
+    lines += [
         "",
         f"cluster: {summary['requests_measured']} measured "
         f"({summary['requests_arrived']} simulated) requests | "

@@ -27,6 +27,16 @@ CLI: ``python -m repro cluster --servers 128 --requests 1000000
 """
 
 from repro.cluster_scale.rebalance import RebalanceDecision, rebalance_harvest
+from repro.cluster_scale.resilience import (
+    CheckpointStore,
+    ClusterFaultPlan,
+    ClusterFaultSpec,
+    HealthTracker,
+    aggregate_resilience,
+    cluster_plan_names,
+    cluster_run_key,
+    get_cluster_plan,
+)
 from repro.cluster_scale.result import ClusterScaleResult, EpochResult
 from repro.cluster_scale.routing import (
     EpochRouting,
@@ -44,15 +54,23 @@ from repro.cluster_scale.spec import (
 )
 
 __all__ = [
+    "CheckpointStore",
+    "ClusterFaultPlan",
+    "ClusterFaultSpec",
     "ClusterScaleConfig",
     "ClusterScaleResult",
     "EpochResult",
     "EpochRouting",
+    "HealthTracker",
     "RebalanceDecision",
     "RoutingPolicy",
     "ROUTING_POLICY_NAMES",
     "ServiceMix",
+    "aggregate_resilience",
+    "cluster_plan_names",
+    "cluster_run_key",
     "expected_server_rps",
+    "get_cluster_plan",
     "rebalance_harvest",
     "route_epoch",
     "routing_rng",

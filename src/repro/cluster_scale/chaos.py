@@ -1,0 +1,264 @@
+"""Chaos soak: SIGKILL a fault-plan cluster run mid-flight, resume it,
+and prove the recovered digest is bit-identical to an uninterrupted run.
+
+The harness behind ``python -m repro chaos`` and
+``benchmarks/chaos_soak.py``:
+
+1. run the configured fault-plan cluster simulation **uninterrupted**,
+   in-process, and record its digest and per-epoch goodput/TTR curve;
+2. launch the identical run as a ``python -m repro cluster`` subprocess
+   with checkpointing on, poll the checkpoint directory, and SIGKILL the
+   orchestrator the moment enough epoch barriers have been persisted —
+   the most brutal failure a run can suffer (no atexit, no flush);
+3. resume from the surviving checkpoints in-process and compare digests.
+
+The two digests being equal at any worker count is the resilience layer's
+end-to-end acceptance criterion; CI's ``chaos-smoke`` job gates on the
+record this module emits.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from typing import Dict, Optional
+
+import repro
+from repro.cluster_scale.resilience import (
+    CheckpointStore,
+    cluster_run_key,
+    get_cluster_plan,
+)
+from repro.cluster_scale.runner import run_cluster_scale
+from repro.cluster_scale.spec import ClusterScaleConfig, RoutingPolicy
+from repro.config import SimulationConfig, SystemKind
+from repro.core.presets import build_system
+from repro.workloads.batch import BATCH_JOBS
+
+
+def _chaos_configs(
+    system_name: str,
+    servers: int,
+    requests: int,
+    epochs: int,
+    epoch_ms: float,
+    routing: str,
+    plan_name: str,
+    seed: int,
+    accesses: int,
+    cooldown: Optional[int] = None,
+):
+    """The (system, sim, cfg) triple for a chaos run.
+
+    Built to coincide *exactly* with what ``python -m repro cluster``
+    derives from the equivalent flags (same warmup rule, same plan
+    expansion), so the in-process runs and the killed subprocess share
+    one checkpoint run key.
+    """
+    import dataclasses
+
+    kind = next((k for k in SystemKind if k.value == system_name), None)
+    if kind is None:
+        raise ValueError(f"unknown system {system_name!r}")
+    system = build_system(kind)
+    sim = SimulationConfig(
+        horizon_ms=epoch_ms,
+        warmup_ms=min(epoch_ms / 5, 100.0),
+        seed=seed,
+        accesses_per_segment=accesses,
+        servers_to_simulate=servers,
+    )
+    plan = get_cluster_plan(plan_name, servers, epochs)
+    if cooldown is not None:
+        plan = dataclasses.replace(plan, cooldown_epochs=cooldown)
+    cfg = ClusterScaleConfig(
+        servers=servers,
+        requests=requests,
+        epochs=epochs,
+        epoch_ms=epoch_ms,
+        warmup_ms=sim.warmup_ms,
+        routing=RoutingPolicy(routing),
+        fault_plan=plan,
+    )
+    return system, sim, cfg
+
+
+def _count_checkpoints(store: CheckpointStore, epochs: int) -> int:
+    """Epoch files present on disk (existence only — validation is the
+    resuming loader's job)."""
+    n = 0
+    for epoch in range(epochs):
+        if os.path.exists(store.path(epoch)):
+            n += 1
+        else:
+            break
+    return n
+
+
+def run_chaos_soak(
+    system_name: str = "HardHarvest-Block",
+    servers: int = 3,
+    requests: int = 2400,
+    epochs: int = 4,
+    epoch_ms: float = 25.0,
+    routing: str = "p2c",
+    plan_name: str = "crash-storm",
+    seed: int = 7,
+    accesses: int = 2,
+    workers: int = 1,
+    checkpoint_root: Optional[str] = None,
+    kill_after_epochs: int = 1,
+    poll_s: float = 0.05,
+    kill_timeout_s: float = 900.0,
+    progress=None,
+) -> Dict:
+    """One full SIGKILL-and-resume soak; returns the benchmark record.
+
+    ``kill_after_epochs`` is how many epoch checkpoints must exist before
+    the subprocess is killed.  On a fast machine the subprocess can
+    finish before the poller catches it — the record then notes
+    ``killed: false`` and the resume degenerates to a full checkpoint
+    replay, which still must reproduce the digest.
+    """
+    import tempfile
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    if not 1 <= kill_after_epochs < epochs:
+        raise ValueError(
+            f"kill_after_epochs must be in [1, {epochs - 1}], got "
+            f"{kill_after_epochs}"
+        )
+    system, sim, cfg = _chaos_configs(
+        system_name, servers, requests, epochs, epoch_ms, routing,
+        plan_name, seed, accesses,
+    )
+    run_key = cluster_run_key(system, sim, cfg, list(BATCH_JOBS))
+
+    say(f"uninterrupted reference run ({epochs} epochs, plan {plan_name})")
+    t0 = time.monotonic()
+    reference = run_cluster_scale(system, sim, cfg, workers=workers)
+    reference_wall = time.monotonic() - t0
+    reference_digest = reference.digest()
+
+    owns_root = checkpoint_root is None
+    if owns_root:
+        checkpoint_root = tempfile.mkdtemp(prefix="repro_chaos_")
+    store = CheckpointStore(root=checkpoint_root, run_key=run_key)
+
+    # The victim: an identical run via the real CLI, checkpointing on.
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable, "-m", "repro", "cluster",
+        "--system", system_name,
+        "--servers", str(servers),
+        "--requests", str(requests),
+        "--epochs", str(epochs),
+        "--horizon-ms", str(epoch_ms),
+        "--routing", routing,
+        "--fault-plan", plan_name,
+        "--seed", str(seed),
+        "--accesses", str(accesses),
+        "--workers", str(workers),
+        "--checkpoint",
+        "--checkpoint-dir", checkpoint_root,
+        "--no-cache",
+    ]
+    say(f"launching victim subprocess (SIGKILL after "
+        f"{kill_after_epochs} checkpointed epoch(s))")
+    t0 = time.monotonic()
+    proc = subprocess.Popen(
+        cmd, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    killed = False
+    try:
+        while proc.poll() is None:
+            if _count_checkpoints(store, epochs) >= kill_after_epochs:
+                proc.kill()  # SIGKILL: no cleanup, no flush
+                proc.wait()
+                killed = True
+                break
+            if time.monotonic() - t0 > kill_timeout_s:
+                proc.kill()
+                proc.wait()
+                raise RuntimeError(
+                    f"chaos victim produced no checkpoint within "
+                    f"{kill_timeout_s}s"
+                )
+            time.sleep(poll_s)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    victim_wall = time.monotonic() - t0
+    checkpoints_on_disk = _count_checkpoints(store, epochs)
+    say(f"victim {'killed' if killed else 'finished unkilled'} with "
+        f"{checkpoints_on_disk} checkpoint(s) on disk")
+
+    say("resuming from surviving checkpoints")
+    t0 = time.monotonic()
+    resumed = run_cluster_scale(
+        system, sim, cfg, workers=workers,
+        checkpoint=CheckpointStore(root=checkpoint_root, run_key=run_key),
+        progress=progress,
+    )
+    resume_wall = time.monotonic() - t0
+    resumed_digest = resumed.digest()
+
+    if owns_root:
+        import shutil
+
+        shutil.rmtree(checkpoint_root, ignore_errors=True)
+
+    curve = [
+        {
+            "epoch": entry["epoch"],
+            "goodput": round(entry["goodput"], 6),
+            "retry_amplification": round(entry["retry_amplification"], 6),
+            "slo_violation_rate": round(entry["slo_violation_rate"], 6),
+            "recovery_ms_max": round(entry["recovery_ms_max"], 3),
+            "offered": entry["offered"],
+            "failed": entry["failed"],
+        }
+        for entry in resumed.resilience_curve()
+    ]
+    return {
+        "bench": "chaos_soak",
+        "version": repro.__version__,
+        "python": sys.version.split()[0],
+        "config": {
+            "system": system_name,
+            "servers": servers,
+            "requests": requests,
+            "epochs": epochs,
+            "epoch_ms": epoch_ms,
+            "routing": routing,
+            "fault_plan": plan_name,
+            "seed": seed,
+            "accesses": accesses,
+            "workers": workers,
+            "kill_after_epochs": kill_after_epochs,
+        },
+        "run_key": run_key,
+        "uninterrupted_digest": reference_digest,
+        "resumed_digest": resumed_digest,
+        "digests_equal": resumed_digest == reference_digest,
+        "killed": killed,
+        "resumed_from_epoch": resumed.resumed_epochs,
+        "checkpoints_on_disk": checkpoints_on_disk,
+        "resilience_curve": curve,
+        "walls": {
+            "uninterrupted_s": round(reference_wall, 3),
+            "victim_s": round(victim_wall, 3),
+            "resume_s": round(resume_wall, 3),
+        },
+    }

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.core.export import server_result_from_dict, server_result_to_dict
 from repro.core.metrics import ClusterResult
+from repro.cluster_scale.resilience import aggregate_resilience
 from repro.parallel.cache import canonical_json
 
 
@@ -41,6 +42,11 @@ class EpochResult:
     rebalance: Optional[dict]
     #: The per-server results, in server order.
     cluster: ClusterResult
+    #: Health record from this epoch's barrier: ``{"crashed": [...],
+    #: "excluded": [...], "cooldown": [...]}`` — present only on
+    #: fault-plan runs (omitted from :meth:`to_dict` when None, which
+    #: keeps nominal digests byte-identical to pre-resilience runs).
+    health: Optional[dict] = None
 
     def requests_measured(self) -> int:
         return sum(
@@ -52,8 +58,19 @@ class EpochResult:
             s.counters.get("requests_arrived", 0) for s in self.cluster.servers
         )
 
+    def resilience_summary(self) -> Dict[str, float]:
+        """This epoch's cluster-wide degradation metrics (goodput, retry
+        amplification, SLO violations, worst-case time-to-recovery),
+        reduced from the per-server PR-3 counters.  Empty on nominal runs.
+
+        Computed on demand from the per-server results and never
+        serialized — it is a pure reduction, so serializing it would only
+        duplicate digest surface.
+        """
+        return aggregate_resilience(self.cluster.servers)
+
     def to_dict(self) -> dict:
-        return {
+        data = {
             "epoch": self.epoch,
             "seed": self.seed,
             "harvest_alloc": [int(a) for a in self.harvest_alloc],
@@ -63,6 +80,9 @@ class EpochResult:
             "system": self.cluster.system,
             "servers": [server_result_to_dict(s) for s in self.cluster.servers],
         }
+        if self.health is not None:
+            data["health"] = self.health
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "EpochResult":
@@ -77,6 +97,7 @@ class EpochResult:
                 system=data["system"],
                 servers=[server_result_from_dict(s) for s in data["servers"]],
             ),
+            health=data.get("health"),
         )
 
 
@@ -90,6 +111,19 @@ class ClusterScaleResult:
     #: Wall-clock of the whole run.  Excluded from :meth:`to_dict` and the
     #: digest — timing lives in benchmark records, not in results.
     elapsed_s: float = 0.0
+    #: Serialized :class:`~repro.cluster_scale.resilience.ClusterFaultPlan`
+    #: of a fault-plan run (None on nominal runs, and then omitted from
+    #: :meth:`to_dict` so nominal digests are unchanged).  Embedding the
+    #: plan puts every fault parameter inside the digest surface.
+    fault_plan: Optional[dict] = None
+    #: Epochs restored from checkpoints rather than recomputed.  A fact
+    #: about *this process*, not the simulation — excluded from the
+    #: digest, which is exactly what lets a resumed run prove itself
+    #: bit-identical to an uninterrupted one.
+    resumed_epochs: int = 0
+    #: Checkpoint run key (set when checkpointing was active).  Excluded
+    #: from the digest for the same reason.
+    run_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Deterministic reductions (epoch order, then server order).
@@ -167,6 +201,19 @@ class ClusterScaleResult:
             if e.rebalance is not None
         )
 
+    def resilience_curve(self) -> List[Dict[str, float]]:
+        """Per-epoch degradation metrics in epoch order — the
+        goodput/time-to-recovery trajectory of a fault-plan run.  Each
+        entry carries the epoch index plus
+        :meth:`EpochResult.resilience_summary`; empty list on nominal
+        runs (no server carries resilience counters)."""
+        curve = []
+        for epoch in self.epochs:
+            summary = epoch.resilience_summary()
+            if summary:
+                curve.append({"epoch": epoch.epoch, **summary})
+        return curve
+
     # ------------------------------------------------------------------
     # Serialization + digest.
     # ------------------------------------------------------------------
@@ -184,13 +231,17 @@ class ClusterScaleResult:
         }
 
     def to_dict(self) -> dict:
-        """Lossless encoding; excludes wall time by design (see class doc)."""
-        return {
+        """Lossless encoding; excludes wall time, resume provenance, and
+        the checkpoint run key by design (see field docs)."""
+        data = {
             "system": self.system,
             "servers": self.servers,
             "epochs": [e.to_dict() for e in self.epochs],
             "summary": self.summary_dict(),
         }
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "ClusterScaleResult":
@@ -198,6 +249,7 @@ class ClusterScaleResult:
             system=data["system"],
             servers=data["servers"],
             epochs=[EpochResult.from_dict(e) for e in data["epochs"]],
+            fault_plan=data.get("fault_plan"),
         )
 
     def digest(self) -> str:

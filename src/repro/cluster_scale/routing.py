@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import heapq
 import zlib
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -89,14 +89,21 @@ class EpochRouting:
     cost_us: np.ndarray
     #: max/mean of per-server assigned cost — 1.0 is a perfect balance.
     imbalance: float
+    #: Servers health feedback excluded from this epoch's routing.
+    #: Empty on nominal runs — and then omitted from :meth:`to_dict`, so
+    #: pre-resilience digests are preserved byte for byte.
+    excluded: List[int] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "policy": self.policy.value,
             "counts": [int(c) for c in self.counts],
             "cost_us": [round(float(c), 3) for c in self.cost_us],
             "imbalance": round(float(self.imbalance), 6),
         }
+        if self.excluded:
+            data["excluded"] = [int(i) for i in self.excluded]
+        return data
 
 
 def route_epoch(
@@ -106,6 +113,7 @@ def route_epoch(
     num_requests: int,
     mix: ServiceMix,
     carryover_us: np.ndarray,
+    eligible: Optional[Sequence[bool]] = None,
 ) -> EpochRouting:
     """Assign one epoch's requests to servers under ``policy``.
 
@@ -113,9 +121,32 @@ def route_epoch(
     the previous epoch's measured pressure (zeros for epoch 0), so the
     balancing policies route *around* servers that ended the last epoch
     hot — the feedback loop exchanged at the shard barrier.
+
+    ``eligible`` is the health mask from the same barrier: ``False``
+    entries (servers cooling down after a crash) receive no requests.
+    ``None`` — or a mask with no ``False`` entry, or one excluding
+    *everything* — routes over all servers with draws identical to the
+    pre-resilience code, so nominal runs are bit-for-bit unchanged.
     """
     if num_requests < 0:
         raise ValueError(f"num_requests must be non-negative, got {num_requests}")
+    if eligible is None:
+        mask = np.ones(num_servers, dtype=bool)
+    else:
+        mask = np.asarray(eligible, dtype=bool)
+        if mask.shape != (num_servers,):
+            raise ValueError(
+                f"eligible mask has shape {mask.shape}, expected "
+                f"({num_servers},)"
+            )
+        if not mask.any():
+            mask = np.ones(num_servers, dtype=bool)
+    # The routable sub-cluster.  When every server is eligible this is
+    # arange(num_servers) and every draw below matches the unmasked code.
+    idx_map = np.flatnonzero(mask)
+    n_eligible = int(idx_map.size)
+    excluded = [int(i) for i in np.flatnonzero(~mask)]
+
     classes = rng.integers(0, len(mix.names), size=0)  # placeholder dtype
     if num_requests:
         classes = rng.choice(
@@ -128,12 +159,12 @@ def route_epoch(
 
     if policy is RoutingPolicy.ROUND_ROBIN:
         if num_requests:
-            idx = np.arange(num_requests) % num_servers
+            idx = idx_map[np.arange(num_requests) % n_eligible]
             counts = np.bincount(idx, minlength=num_servers).astype(np.int64)
             assigned = np.bincount(idx, weights=costs, minlength=num_servers)
     elif policy is RoutingPolicy.LEAST_LOADED:
         heap: List[Tuple[float, int]] = [
-            (float(carryover_us[i]), i) for i in range(num_servers)
+            (float(carryover_us[i]), int(i)) for i in idx_map
         ]
         heapq.heapify(heap)
         for cost in costs:
@@ -144,9 +175,10 @@ def route_epoch(
     elif policy is RoutingPolicy.POWER_OF_TWO:
         load = carryover_us.astype(float).copy()
         if num_requests:
-            cand = rng.integers(0, num_servers, size=(num_requests, 2))
+            cand = rng.integers(0, n_eligible, size=(num_requests, 2))
             for k in range(num_requests):
-                a, b = int(cand[k, 0]), int(cand[k, 1])
+                a = int(idx_map[cand[k, 0]])
+                b = int(idx_map[cand[k, 1]])
                 # Less-loaded candidate wins; ties to the lower index.
                 if (load[b], b) < (load[a], a):
                     a = b
@@ -158,8 +190,9 @@ def route_epoch(
         raise ValueError(f"unknown routing policy {policy!r}")
 
     total = float(assigned.sum())
-    mean = total / num_servers if num_servers else 0.0
+    mean = total / n_eligible if n_eligible else 0.0
     imbalance = float(assigned.max() / mean) if mean > 0 else 1.0
     return EpochRouting(
-        policy=policy, counts=counts, cost_us=assigned, imbalance=imbalance
+        policy=policy, counts=counts, cost_us=assigned, imbalance=imbalance,
+        excluded=excluded,
     )

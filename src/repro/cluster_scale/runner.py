@@ -8,14 +8,22 @@ runner uses), closed by a cluster-wide barrier where the coordinator:
 1. merges the epoch's per-server results *in server order*;
 2. computes the utilization signal and lets the harvest rebalancer move
    batch capacity between servers (:mod:`repro.cluster_scale.rebalance`);
-3. routes the next epoch's requests with the balancing policy's feedback
-   (:mod:`repro.cluster_scale.routing`).
+3. folds observed crashes into the health tracker so the next epoch's
+   routing excludes cooling-down servers
+   (:mod:`repro.cluster_scale.resilience`);
+4. routes the next epoch's requests with the balancing policy's feedback
+   (:mod:`repro.cluster_scale.routing`);
+5. optionally persists a digest-stamped checkpoint of the barrier state,
+   from which a killed run resumes bit-identically.
 
-Because steps 1-3 are pure functions of (root seed, epoch, merged
+Because steps 1-5 are pure functions of (root seed, epoch, merged
 results) and every per-server simulation is a pure function of its
 serialized config, the whole run is bit-identical for any ``--workers``
 value — the same contract the sweep cache enforces, extended across
-barriers.
+barriers.  Fault plans keep the contract: a plan expands into per-server
+fault schedules *inside* each point's SimulationConfig (so the result
+cache keys change with the plan), and health feedback is derived from the
+merged epoch results at the barrier, never from worker-local state.
 
 The epoch-0 degenerate case (one epoch, nominal load, no rebalancing)
 reproduces the legacy :func:`repro.core.experiment.run_cluster` results
@@ -32,6 +40,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster_scale.rebalance import rebalance_harvest
+from repro.cluster_scale.resilience import CheckpointStore, HealthTracker
 from repro.cluster_scale.result import ClusterScaleResult, EpochResult
 from repro.cluster_scale.routing import (
     EpochRouting,
@@ -73,9 +82,15 @@ def _epoch_points(
     Mirrors :func:`repro.core.experiment._cluster_points` semantics
     (batch job ``i mod len(jobs)``, ``server_index=i``) so the degenerate
     configuration produces byte-identical payloads to the legacy path.
+
+    Fault plans materialize here: the plan's events for (epoch, server)
+    become that point's ``SimulationConfig.faults`` and the plan's client
+    policy rides on every point, which automatically folds every fault
+    parameter into the point's result-cache key.
     """
     from repro.parallel.sweep import SweepPoint
 
+    plan = cfg.fault_plan
     base_cores = system.cluster.harvest_vm_base_cores
     epoch_sim = replace(
         sim,
@@ -84,6 +99,8 @@ def _epoch_points(
         seed=derive_epoch_seed(sim.seed, epoch),
         servers_to_simulate=cfg.servers,
     )
+    if plan is not None and plan.client is not None:
+        epoch_sim = replace(epoch_sim, client=plan.client)
     points = []
     for i in range(cfg.servers):
         point_system = system
@@ -97,6 +114,10 @@ def _epoch_points(
         point_sim = epoch_sim
         if load_scale[i] is not None:
             point_sim = replace(epoch_sim, load_scale=float(load_scale[i]))
+        if plan is not None:
+            schedule = plan.schedule_for(epoch, i, cfg.epoch_ms)
+            if schedule is not None:
+                point_sim = replace(point_sim, faults=schedule)
         points.append(
             SweepPoint(
                 label=f"epoch={epoch}/server={i}",
@@ -109,6 +130,10 @@ def _epoch_points(
     return points
 
 
+def _server_crashed(server) -> bool:
+    return server.counters.get("faults_crashes", 0) > 0
+
+
 def run_cluster_scale(
     system: SystemConfig,
     sim: Optional[SimulationConfig] = None,
@@ -118,6 +143,8 @@ def run_cluster_scale(
     task_timeout: Optional[float] = None,
     batch_jobs: Optional[Sequence[BatchJobProfile]] = None,
     progress=None,
+    checkpoint: Optional[CheckpointStore] = None,
+    resume: bool = True,
 ) -> ClusterScaleResult:
     """Run a sharded, epoch-barriered cluster-scale simulation.
 
@@ -127,6 +154,14 @@ def run_cluster_scale(
     ``cache`` serves previously-computed (server, epoch) points from the
     content-addressed result cache under the usual key contract.
     ``progress`` is an optional callable ``(message: str) -> None``.
+
+    ``checkpoint`` persists every epoch barrier to disk; with ``resume``
+    (the default) the run first replays the longest valid checkpoint
+    prefix and only simulates the remaining epochs.  A resumed run's
+    digest is bit-identical to an uninterrupted one because the barrier
+    state (harvest allocation, routing carryover, health cool-downs)
+    round-trips exactly and all per-epoch randomness derives from
+    ``(root seed, epoch)``.
     """
     from repro.parallel.runner import run_sweep
 
@@ -140,13 +175,46 @@ def run_cluster_scale(
     nominal_rps = expected_server_rps(profiles, cluster) * sim.load_scale
     epoch_s = cfg.epoch_ms / 1e3
 
+    plan = cfg.fault_plan
     alloc: List[int] = [cluster.harvest_vm_base_cores] * cfg.servers
     carryover = np.zeros(cfg.servers, dtype=float)
+    health = (
+        HealthTracker(cfg.servers, plan.cooldown_epochs)
+        if plan is not None
+        else None
+    )
     epochs: List[EpochResult] = []
+    first_epoch = 0
     started = time.monotonic()
 
-    for epoch in range(cfg.epochs):
+    if checkpoint is not None and checkpoint.warn is None:
+        checkpoint.warn = progress
+    if checkpoint is not None and resume:
+        entries, state = checkpoint.load(cfg.epochs)
+        if entries:
+            epochs = [
+                EpochResult.from_dict(e["epoch_result"]) for e in entries
+            ]
+            first_epoch = int(state["next_epoch"])
+            alloc = [int(a) for a in state["alloc"]]
+            carryover = np.array(state["carryover"], dtype=float)
+            if health is not None:
+                health = HealthTracker(
+                    cfg.servers, plan.cooldown_epochs,
+                    cooldown=state.get("cooldown"),
+                )
+            if progress is not None:
+                progress(
+                    f"resumed from checkpoint: {len(entries)} epoch(s) "
+                    + ("restored, nothing left to simulate"
+                       if first_epoch >= cfg.epochs
+                       else f"restored, continuing at epoch "
+                            f"{first_epoch + 1}/{cfg.epochs}")
+                )
+
+    for epoch in range(first_epoch, cfg.epochs):
         requests = cfg.epoch_requests(epoch)
+        eligible = health.eligible() if health is not None else None
         routing: Optional[EpochRouting] = None
         load_scale: List[Optional[float]]
         if requests is None:
@@ -159,10 +227,12 @@ def run_cluster_scale(
                 requests,
                 mix,
                 carryover,
+                eligible=eligible,
             )
             # Routed share -> per-server load multiplier.  The floor keeps
             # a starved server at a deterministic trickle instead of a
-            # zero rate the arrival generator rejects.
+            # zero rate the arrival generator rejects (excluded servers
+            # run at the floor, so their recovery is still simulated).
             load_scale = [
                 max(float(c) / (nominal_rps * epoch_s), 0.01) * sim.load_scale
                 for c in routing.counts
@@ -170,10 +240,17 @@ def run_cluster_scale(
 
         points = _epoch_points(system, sim, cfg, epoch, alloc, load_scale, jobs)
         if progress is not None:
+            faulted = (
+                sum(1 for i in range(cfg.servers)
+                    if plan.events_for(epoch, i))
+                if plan is not None
+                else 0
+            )
             progress(
                 f"epoch {epoch + 1}/{cfg.epochs}: {cfg.servers} server(s), "
                 + (f"{requests} routed request(s)" if requests is not None
                    else "nominal load")
+                + (f", {faulted} server(s) under fault" if faulted else "")
             )
         outcome = run_sweep(
             points, workers=workers, cache=cache, task_timeout=task_timeout
@@ -182,7 +259,7 @@ def run_cluster_scale(
             system=system.name, servers=list(outcome.results.values())
         )
 
-        # --- barrier: merge, rebalance, feed the router -----------------
+        # --- barrier: merge, rebalance, health, feed the router ---------
         utilization = [
             s.avg_busy_cores / cluster.cores_per_server
             for s in cluster_result.servers
@@ -198,6 +275,10 @@ def run_cluster_scale(
                 cfg.rebalance_threshold,
                 cfg.rebalance_max_moves,
             )
+        health_record = None
+        if health is not None:
+            crashed = [_server_crashed(s) for s in cluster_result.servers]
+            health_record = health.barrier(crashed)
         epochs.append(
             EpochResult(
                 epoch=epoch,
@@ -210,6 +291,7 @@ def run_cluster_scale(
                 routing=routing.to_dict() if routing is not None else None,
                 rebalance=decision.to_dict() if decision is not None else None,
                 cluster=cluster_result,
+                health=health_record,
             )
         )
         if decision is not None:
@@ -222,8 +304,27 @@ def run_cluster_scale(
             dtype=float,
         )
 
+        if checkpoint is not None:
+            checkpoint.save(
+                epoch,
+                epochs[-1].to_dict(),
+                {
+                    "next_epoch": epoch + 1,
+                    "alloc": [int(a) for a in alloc],
+                    "carryover": [float(c) for c in carryover],
+                    "cooldown": (
+                        list(health.cooldown) if health is not None else None
+                    ),
+                },
+            )
+
     result = ClusterScaleResult(
-        system=system.name, servers=cfg.servers, epochs=epochs
+        system=system.name,
+        servers=cfg.servers,
+        epochs=epochs,
+        fault_plan=plan.to_dict() if plan is not None else None,
+        resumed_epochs=first_epoch,
+        run_key=checkpoint.run_key if checkpoint is not None else None,
     )
     result.elapsed_s = time.monotonic() - started
     return result

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
+from repro.cluster_scale.resilience import ClusterFaultPlan
+
 
 class RoutingPolicy(Enum):
     """Datacenter front-end request-routing policies.
@@ -81,6 +83,11 @@ class ClusterScaleConfig:
     #: respect the server's core budget (validated when points are built).
     harvest_min_cores: int = 1
     harvest_max_cores: int = 4
+    #: Cluster-dimension fault schedule (see
+    #: :mod:`repro.cluster_scale.resilience`).  ``None`` = nominal run;
+    #: nominal runs serialize exactly as they did before fault plans
+    #: existed, so their digests and cache keys are unchanged.
+    fault_plan: Optional[ClusterFaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.servers <= 0:
@@ -102,6 +109,45 @@ class ClusterScaleConfig:
                 "need 0 < harvest_min_cores <= harvest_max_cores, got "
                 f"[{self.harvest_min_cores}, {self.harvest_max_cores}]"
             )
+        if self.fault_plan is not None:
+            if not isinstance(self.fault_plan, ClusterFaultPlan):
+                raise TypeError(
+                    f"fault_plan must be a ClusterFaultPlan, got "
+                    f"{self.fault_plan!r}"
+                )
+            for ev in self.fault_plan.events:
+                if ev.epoch >= self.epochs:
+                    raise ValueError(
+                        f"fault event targets epoch {ev.epoch} but the run "
+                        f"has only {self.epochs} epoch(s)"
+                    )
+                bad = [s for s in ev.servers if s >= self.servers]
+                if bad:
+                    raise ValueError(
+                        f"fault event targets server(s) {bad} but the "
+                        f"cluster has only {self.servers} server(s)"
+                    )
+
+    def to_dict(self) -> dict:
+        """Lossless encoding (used by the checkpoint run key)."""
+        return {
+            "servers": self.servers,
+            "requests": self.requests,
+            "epochs": self.epochs,
+            "epoch_ms": self.epoch_ms,
+            "warmup_ms": self.warmup_ms,
+            "routing": self.routing.value,
+            "rebalance": self.rebalance,
+            "rebalance_threshold": self.rebalance_threshold,
+            "rebalance_max_moves": self.rebalance_max_moves,
+            "harvest_min_cores": self.harvest_min_cores,
+            "harvest_max_cores": self.harvest_max_cores,
+            "fault_plan": (
+                self.fault_plan.to_dict()
+                if self.fault_plan is not None
+                else None
+            ),
+        }
 
     def epoch_requests(self, epoch: int) -> Optional[int]:
         """This epoch's share of :attr:`requests` (even split, remainder

@@ -35,10 +35,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 def summarize(sim: ServerSimulation) -> ServerResult:
-    """Extract the figure-facing metrics from a completed run."""
-    p99 = {name: rec.p99() / 1e6 for name, rec in sim.latency.items()}
-    p50 = {name: rec.p50() / 1e6 for name, rec in sim.latency.items()}
-    mean = {name: rec.mean() / 1e6 for name, rec in sim.latency.items()}
+    """Extract the figure-facing metrics from a completed run.
+
+    Services with zero measured completions are omitted from the latency
+    maps rather than raising: a crashed or traffic-starved server (fault
+    plans route around casualties at a trickle load) legitimately ends an
+    epoch without completing every service.  Nominal runs always record
+    samples, so their results are unchanged.
+    """
+    measured = {
+        name: rec for name, rec in sim.latency.items() if rec.count > 0
+    }
+    p99 = {name: rec.p99() / 1e6 for name, rec in measured.items()}
+    p50 = {name: rec.p50() / 1e6 for name, rec in measured.items()}
+    mean = {name: rec.mean() / 1e6 for name, rec in measured.items()}
     breakdown = {key: sim.breakdowns.mean(key) for key in sim.breakdowns.keys()}
     return ServerResult(
         system=sim.system.name,

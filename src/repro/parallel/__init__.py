@@ -7,7 +7,9 @@ The fan-out/cache substrate behind ``python -m repro sweep``, the
 * :class:`SweepSpec` / :class:`SweepPoint` — declarative (system, seed,
   override) grids, enumerated in deterministic order.
 * :func:`run_sweep` — process-pool execution with per-task timeout,
-  retry-once-on-crash, and collection keyed by point.
+  per-point retry with capped exponential backoff (:class:`RetryPolicy`),
+  broken-pool rebuild, optional quarantine of hopeless points, and
+  collection keyed by point.
 * :class:`ResultCache` — content-addressed on-disk cache under
   ``.repro_cache/`` keyed by config hash + package version.
 """
@@ -20,6 +22,7 @@ from repro.parallel.cache import (
 )
 from repro.parallel.runner import (
     DeterminismError,
+    RetryPolicy,
     SweepError,
     SweepOutcome,
     execute_payload,
@@ -32,6 +35,7 @@ __all__ = [
     "SweepPoint",
     "parse_seeds",
     "run_sweep",
+    "RetryPolicy",
     "SweepOutcome",
     "SweepError",
     "DeterminismError",

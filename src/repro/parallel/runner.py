@@ -13,9 +13,19 @@ config dataclasses through :mod:`repro.core.serialize` — the same
 validated path the CLI uses for ``--config`` files.
 
 Failure policy: a worker crash, a poisoned pool, or a per-task timeout
-marks the point failed for that attempt; failed points are retried once in
-a fresh pool (or in-process when serial).  Points that fail twice raise
-:class:`SweepError` naming every failed label.
+marks the point failed *for that attempt only*.  Ordinary exceptions are
+caught per point inside the chunk, so one bad point never discards its
+chunk-mates' first-attempt results; a hard worker crash (which loses the
+whole chunk) is salvaged by retrying each affected point as its own
+singleton chunk.  Failed points are retried under a
+:class:`RetryPolicy` — capped exponential backoff between attempts, every
+retry isolated in a singleton chunk so a poisoned point cannot take
+neighbours down with it — and a broken pool is rebuilt (bounded by
+``MAX_POOL_REBUILDS``) instead of failing the run.  Points that exhaust
+their attempts raise :class:`SweepError` naming every failed label, or —
+with ``quarantine=True`` — are recorded in
+:attr:`SweepOutcome.quarantined` and excluded from the results instead of
+sinking the sweep.
 
 Determinism guard: with ``verify_cached=True``, every cache hit is
 recomputed and the cached and fresh results must be *bit-identical*
@@ -29,6 +39,7 @@ from __future__ import annotations
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -45,6 +56,49 @@ class SweepError(RuntimeError):
 
 class DeterminismError(RuntimeError):
     """A cached result and its fresh recompute were not bit-identical."""
+
+
+#: A broken process pool is rebuilt at most this many times per batch
+#: before the surviving chunks are marked failed for the attempt.
+MAX_POOL_REBUILDS = 3
+
+#: Patchable sleep hook so tests can assert backoff without waiting it out.
+_sleep = time.sleep
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-point retry with capped exponential backoff.
+
+    ``max_attempts`` counts every execution of a point (first try
+    included), so the default allows two retries.  Between attempt ``n``
+    and ``n+1`` the runner sleeps ``delay(n)`` — backoff is wall-clock
+    only and never touches simulation state, so it cannot perturb
+    results.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after the ``attempt``-th failed execution."""
+        raw = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        return min(raw, self.backoff_cap_s)
 
 
 def execute_payload(payload_json: str) -> Dict:
@@ -103,43 +157,67 @@ class SweepOutcome:
     computed: int = 0
     #: Points served from the cache.
     from_cache: int = 0
-    #: Points that needed a second attempt after a crash/timeout.
+    #: Points that needed more than one attempt after a crash/timeout.
     retried: int = 0
     elapsed_s: float = 0.0
     #: Label -> error string for first-attempt failures that then succeeded.
     retry_errors: Dict[str, str] = field(default_factory=dict)
+    #: Label -> last error for points that exhausted their attempts and
+    #: were quarantined instead of failing the sweep (``quarantine=True``
+    #: only; quarantined points are absent from :attr:`results`).
+    quarantined: Dict[str, str] = field(default_factory=dict)
+    #: Times a broken process pool was detected and rebuilt.
+    pool_rebuilds: int = 0
 
 
 def _execute_batch(
     tasks: Sequence[Tuple[str, str]],
     workers: int,
     task_timeout: Optional[float],
-) -> Tuple[Dict[str, Dict], Dict[str, str]]:
-    """Run (label, payload_json) tasks; return (results, failures).
+    chunk_size: Optional[int] = None,
+) -> Tuple[Dict[str, Dict], Dict[str, str], int]:
+    """Run (label, payload_json) tasks; return (results, failures,
+    pool_rebuilds).
 
     One pool attempt: failures carry the error text and are left for the
-    caller's retry logic.
+    caller's retry logic.  Ordinary per-point exceptions are already
+    isolated inside :func:`execute_payload_chunk`, so only hard events
+    (worker crash, pool poisoning, chunk timeout) fail more than the
+    guilty point.  A broken pool is detected, rebuilt (at most
+    :data:`MAX_POOL_REBUILDS` times), and the not-yet-collected chunks
+    are resubmitted to the fresh pool — a single dying worker degrades
+    one chunk, not the whole batch.
+
+    ``chunk_size`` overrides the default ~4-chunks-per-worker split; the
+    retry path passes ``1`` so every retried point runs in isolation
+    (poisoned-point containment and sibling salvage).
     """
     done: Dict[str, Dict] = {}
     failed: Dict[str, str] = {}
+    rebuilds = 0
     if not tasks:
-        return done, failed
+        return done, failed, rebuilds
     if workers <= 1 or len(tasks) == 1:
         for label, payload_json in tasks:
             try:
                 done[label] = execute_payload(payload_json)
             except Exception as exc:  # noqa: BLE001 - uniform retry handling
                 failed[label] = f"{type(exc).__name__}: {exc}"
-        return done, failed
-    # Contiguous chunks, ~4 per worker: big enough to amortize pool IPC,
-    # small enough that an uneven point mix still load-balances.
-    chunk_size = max(1, -(-len(tasks) // (workers * 4)))
+        return done, failed, rebuilds
+    if chunk_size is None:
+        # Contiguous chunks, ~4 per worker: big enough to amortize pool
+        # IPC, small enough that an uneven point mix still load-balances.
+        chunk_size = max(1, -(-len(tasks) // (workers * 4)))
     chunks = [tasks[i:i + chunk_size] for i in range(0, len(tasks), chunk_size)]
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+    max_workers = min(workers, len(chunks))
+    pool = ProcessPoolExecutor(max_workers=max_workers)
     try:
         futures = [(chunk, pool.submit(execute_payload_chunk, chunk))
                    for chunk in chunks]
-        for chunk, future in futures:
+        cursor = 0
+        while cursor < len(futures):
+            chunk, future = futures[cursor]
+            cursor += 1
             timeout = task_timeout * len(chunk) if task_timeout is not None else None
             try:
                 for label, result, err in future.result(timeout=timeout):
@@ -153,12 +231,37 @@ def _execute_batch(
                     failed[label] = (
                         f"chunk of {len(chunk)} timed out after {timeout}s"
                     )
-            except Exception as exc:  # noqa: BLE001 - crash/broken pool
+            except BrokenProcessPool as exc:
+                # The chunk that broke the pool is lost; everything queued
+                # behind it is resubmitted to a fresh pool.
+                for label, _ in chunk:
+                    failed[label] = f"{type(exc).__name__}: {exc}"
+                remaining = futures[cursor:]
+                pool.shutdown(wait=False, cancel_futures=True)
+                if rebuilds >= MAX_POOL_REBUILDS:
+                    for lost_chunk, _ in remaining:
+                        for label, _ in lost_chunk:
+                            failed[label] = (
+                                "process pool broke "
+                                f"{rebuilds + 1} times; giving up this "
+                                "attempt"
+                            )
+                    futures = []
+                    cursor = 0
+                    break
+                rebuilds += 1
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                futures = [
+                    (lost_chunk, pool.submit(execute_payload_chunk, lost_chunk))
+                    for lost_chunk, _ in remaining
+                ]
+                cursor = 0
+            except Exception as exc:  # noqa: BLE001 - crash inside future
                 for label, _ in chunk:
                     failed[label] = f"{type(exc).__name__}: {exc}"
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
-    return done, failed
+    return done, failed, rebuilds
 
 
 def run_sweep(
@@ -167,6 +270,8 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     task_timeout: Optional[float] = None,
     verify_cached: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    quarantine: bool = False,
 ) -> SweepOutcome:
     """Execute every point of ``spec``; return results in spec order.
 
@@ -176,6 +281,17 @@ def run_sweep(
     from disk and fresh results are stored back.  ``verify_cached=True``
     additionally recomputes every hit and insists on bit-identical output
     (see :class:`DeterminismError`).
+
+    ``retry`` (default :class:`RetryPolicy`) governs per-point retries:
+    only the points that failed re-run, each as its own singleton chunk,
+    with capped exponential backoff between attempts.  Points that
+    exhaust every attempt raise :class:`SweepError` — unless
+    ``quarantine=True``, which records them in
+    :attr:`SweepOutcome.quarantined` (and omits them from the results)
+    so one hopeless point cannot sink a million-point sweep.  Callers
+    whose downstream digest covers *every* point (the cluster-scale
+    runner) must keep quarantine off: silently missing servers would
+    change results, not just slim them.
     """
     points: List[SweepPoint] = (
         list(spec.points()) if isinstance(spec, SweepSpec) else list(spec)
@@ -208,19 +324,46 @@ def run_sweep(
     else:
         to_verify = []
 
-    done, failures = _execute_batch(pending + to_verify, workers, task_timeout)
-    if failures:
-        retry_done, still_failed = _execute_batch(
-            [(lbl, payloads[lbl]) for lbl in failures], workers, task_timeout
+    retry = retry or RetryPolicy()
+    done, failures, rebuilds = _execute_batch(
+        pending + to_verify, workers, task_timeout
+    )
+    outcome.pool_rebuilds += rebuilds
+    first_errors = dict(failures)
+    attempt = 1
+    while failures and attempt < retry.max_attempts:
+        delay = retry.delay(attempt)
+        if delay > 0:
+            _sleep(delay)
+        attempt += 1
+        # Singleton chunks: each retried point runs in isolation, so a
+        # poisoned point cannot take healthy siblings down with it and
+        # every sibling's success is banked the moment it completes.
+        retry_done, failures, rebuilds = _execute_batch(
+            [(lbl, payloads[lbl]) for lbl in failures],
+            workers,
+            task_timeout,
+            chunk_size=1,
         )
-        if still_failed:
-            detail = "; ".join(f"{lbl}: {err}" for lbl, err in still_failed.items())
-            raise SweepError(f"{len(still_failed)} sweep point(s) failed twice: {detail}")
-        outcome.retried = len(retry_done)
-        outcome.retry_errors = dict(failures)
+        outcome.pool_rebuilds += rebuilds
         done.update(retry_done)
+    if failures:
+        if not quarantine:
+            detail = "; ".join(f"{lbl}: {err}" for lbl, err in failures.items())
+            raise SweepError(
+                f"{len(failures)} sweep point(s) failed after "
+                f"{retry.max_attempts} attempt(s): {detail}"
+            )
+        outcome.quarantined = dict(failures)
+    recovered = {
+        lbl: err for lbl, err in first_errors.items() if lbl not in failures
+    }
+    outcome.retried = len(recovered)
+    outcome.retry_errors = recovered
 
     for label, _ in to_verify:
+        if label in outcome.quarantined:
+            continue  # recompute kept failing; the cached result stands
         fresh = done[label]
         if canonical_json(fresh) != canonical_json(raw[label]):
             raise DeterminismError(
@@ -229,11 +372,15 @@ def run_sweep(
                 "state (global RNG, wall clock, ...)"
             )
     for label, _ in pending:
+        if label in outcome.quarantined:
+            continue
         raw[label] = done[label]
         outcome.computed += 1
         if cache is not None:
             cache.put(keys[label], json.loads(payloads[label]), done[label])
 
-    outcome.results = {lbl: server_result_from_dict(raw[lbl]) for lbl in labels}
+    outcome.results = {
+        lbl: server_result_from_dict(raw[lbl]) for lbl in labels if lbl in raw
+    }
     outcome.elapsed_s = time.monotonic() - started
     return outcome

@@ -8,7 +8,8 @@ The load-bearing guarantees:
   criterion of the sweep substrate);
 * the determinism guard catches a cached result that disagrees with a
   fresh recompute;
-* crashes are retried once, then surface as :class:`SweepError`.
+* crashes are retried per point with backoff, then surface as
+  :class:`SweepError` (or as quarantine records when opted in).
 
 Configs here are tiny (about 12 simulated ms) — these tests exercise the
 orchestration, not the simulator's statistics.
@@ -209,15 +210,162 @@ def test_crashed_point_is_retried_once(monkeypatch):
     assert list(out.results) == ["NoHarvest/seed=0"]
 
 
-def test_point_failing_twice_raises_sweep_error(monkeypatch):
+def test_point_exhausting_attempts_raises_sweep_error(monkeypatch):
     import repro.parallel.runner as runner_mod
 
     def always_broken(payload_json):
         raise RuntimeError("hopeless")
 
     monkeypatch.setattr(runner_mod, "execute_payload", always_broken)
-    with pytest.raises(SweepError, match="failed twice.*hopeless"):
+    monkeypatch.setattr(runner_mod, "_sleep", lambda s: None)
+    with pytest.raises(SweepError, match=r"failed after 3 attempt\(s\).*hopeless"):
         run_sweep(tiny_spec(n_systems=1, seeds=(0,)), workers=1)
+
+
+def test_retry_policy_delay_is_capped_exponential():
+    from repro.parallel import RetryPolicy
+
+    policy = RetryPolicy(backoff_base_s=0.05, backoff_multiplier=2.0,
+                         backoff_cap_s=0.15)
+    assert policy.delay(1) == pytest.approx(0.05)
+    assert policy.delay(2) == pytest.approx(0.10)
+    assert policy.delay(3) == pytest.approx(0.15)  # capped, not 0.20
+    assert policy.delay(10) == pytest.approx(0.15)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_multiplier=0.5)
+
+
+def test_backoff_sleeps_between_retry_rounds(monkeypatch):
+    import repro.parallel.runner as runner_mod
+
+    def always_broken(payload_json):
+        raise RuntimeError("hopeless")
+
+    delays = []
+    monkeypatch.setattr(runner_mod, "execute_payload", always_broken)
+    monkeypatch.setattr(runner_mod, "_sleep", delays.append)
+    with pytest.raises(SweepError):
+        run_sweep(tiny_spec(n_systems=1, seeds=(0,)), workers=1)
+    # max_attempts=3 => two retry rounds, exponential from the base.
+    assert delays == [pytest.approx(0.05), pytest.approx(0.10)]
+
+
+def test_retry_recomputes_only_failed_points(monkeypatch):
+    """The retry granularity fix: siblings that succeeded on the first
+    attempt are banked — retry rounds re-run the failed points alone."""
+    import repro.parallel.runner as runner_mod
+
+    real = runner_mod.execute_payload
+    calls: dict = {}
+
+    def flaky(payload_json):
+        calls[payload_json] = calls.get(payload_json, 0) + 1
+        if json.loads(payload_json)["simulation"]["seed"] == 1 \
+                and calls[payload_json] == 1:
+            raise RuntimeError("first-attempt crash")
+        return real(payload_json)
+
+    monkeypatch.setattr(runner_mod, "execute_payload", flaky)
+    monkeypatch.setattr(runner_mod, "_sleep", lambda s: None)
+    spec = tiny_spec(n_systems=2, seeds=(0, 1))
+    out = run_sweep(spec, workers=1)
+    assert out.retried == 2  # one seed=1 point per system
+    by_seed = {
+        json.loads(payload)["simulation"]["seed"]: n
+        for payload, n in calls.items()
+    }
+    assert by_seed == {0: 1, 1: 2}  # seed-0 points never re-ran
+    assert list(out.results) == [p.label for p in spec.points()]
+
+
+def test_quarantine_keeps_partial_results(monkeypatch):
+    import repro.parallel.runner as runner_mod
+
+    real = runner_mod.execute_payload
+
+    def poisoned(payload_json):
+        if json.loads(payload_json)["simulation"]["seed"] == 1:
+            raise RuntimeError("hopeless point")
+        return real(payload_json)
+
+    monkeypatch.setattr(runner_mod, "execute_payload", poisoned)
+    monkeypatch.setattr(runner_mod, "_sleep", lambda s: None)
+    out = run_sweep(tiny_spec(n_systems=1, seeds=(0, 1)), workers=1,
+                    quarantine=True)
+    assert list(out.results) == ["NoHarvest/seed=0"]
+    assert list(out.quarantined) == ["NoHarvest/seed=1"]
+    assert "hopeless point" in out.quarantined["NoHarvest/seed=1"]
+    assert out.retried == 0  # it never recovered
+
+
+def test_chunk_failure_is_isolated_to_guilty_point(monkeypatch):
+    """Inside a multi-point chunk, one crashing point reports its error
+    while chunk-mates' results survive (no chunk-wide failure)."""
+    import repro.parallel.runner as runner_mod
+
+    if __import__("multiprocessing").get_start_method() != "fork":
+        pytest.skip("needs fork start method to inherit the monkeypatch")
+
+    real = runner_mod.execute_payload
+
+    def poisoned(payload_json):
+        if json.loads(payload_json)["simulation"]["seed"] == 1:
+            raise RuntimeError("guilty point")
+        return real(payload_json)
+
+    monkeypatch.setattr(runner_mod, "execute_payload", poisoned)
+    spec = tiny_spec(n_systems=2, seeds=(0, 1))
+    tasks = [(p.label, canonical_json(p.payload())) for p in spec.points()]
+    done, failed, rebuilds = runner_mod._execute_batch(
+        tasks, workers=2, task_timeout=None, chunk_size=2,
+    )
+    expected_failed = sorted(
+        p.label for p in spec.points() if p.label.endswith("seed=1")
+    )
+    expected_done = sorted(
+        p.label for p in spec.points() if p.label.endswith("seed=0")
+    )
+    assert sorted(failed) == expected_failed
+    assert all("guilty point" in err for err in failed.values())
+    assert sorted(done) == expected_done
+    assert rebuilds == 0
+
+
+def test_broken_pool_is_rebuilt_and_sweep_completes(monkeypatch, tmp_path):
+    """A worker dying hard (os._exit, the SIGKILL/OOM shape) poisons the
+    whole pool; the batch must rebuild it, resubmit the lost chunks, and
+    still deliver every result bit-identically."""
+    import repro.parallel.runner as runner_mod
+
+    if __import__("multiprocessing").get_start_method() != "fork":
+        pytest.skip("needs fork start method to inherit the monkeypatch")
+
+    real = runner_mod.execute_payload
+    bomb = tmp_path / "armed"
+    bomb.write_text("armed")
+
+    def kamikaze(payload_json):
+        import os as _os
+
+        if json.loads(payload_json)["simulation"]["seed"] == 1:
+            try:
+                _os.remove(str(bomb))  # detonate exactly once
+            except FileNotFoundError:
+                pass
+            else:
+                _os._exit(1)  # kills the pool worker: no exception, no result
+        return real(payload_json)
+
+    monkeypatch.setattr(runner_mod, "execute_payload", kamikaze)
+    monkeypatch.setattr(runner_mod, "_sleep", lambda s: None)
+    spec = tiny_spec(n_systems=1, seeds=(0, 1, 2, 3))
+    out = run_sweep(spec, workers=2)
+    assert out.pool_rebuilds >= 1
+    assert out.retried >= 1  # the lost chunk's points came back via retry
+    serial = run_sweep(spec, workers=1)
+    assert fingerprints(out.results) == fingerprints(serial.results)
 
 
 # ---------------------------------------------------------------------------
