@@ -16,6 +16,11 @@ the CLI writes and asserts the same invariants explicitly:
   recovery was bit-identical (resumed digest == uninterrupted digest)
   and that the resume actually replayed checkpoints; with several files,
   they must all share one uninterrupted digest (worker-count parity).
+* ``metrics-text FILE`` — the scraped ``/metrics`` exposition is valid
+  Prometheus text and carries the service's required metric families.
+* ``service-stats FILE`` — the ``service_smoke.py`` record proves the
+  API served digests byte-equal to the direct CLI, deduped duplicate
+  submissions, and exited 0 on SIGTERM.
 
 Exit code 0 on success; 1 with a diagnostic on the first violated
 invariant.
@@ -25,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -143,6 +149,72 @@ def check_chaos_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One valid line of Prometheus text exposition: a HELP/TYPE comment or
+#: ``name{labels} value``.  Matches the regex the service tests use.
+_METRIC_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+-]+(inf|nan)?)$"
+)
+
+#: Metric families the service must always expose, whatever its state.
+_REQUIRED_METRICS = (
+    "repro_service_queue_depth",
+    "repro_service_jobs{state=",
+    "repro_service_workers",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+)
+
+
+def check_metrics_text(args: argparse.Namespace) -> int:
+    with open(args.file) as fh:
+        text = fh.read()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return _fail(f"{args.file}: empty metrics exposition")
+    for line in lines:
+        if not _METRIC_LINE.match(line):
+            return _fail(f"{args.file}: invalid exposition line: {line!r}")
+    for required in _REQUIRED_METRICS:
+        if required not in text:
+            return _fail(f"{args.file}: missing metric family {required!r}")
+    samples = sum(1 for line in lines if not line.startswith("#"))
+    print(f"OK: {args.file}: {samples} sample(s), all lines valid, "
+          f"{len(_REQUIRED_METRICS)} required families present")
+    return 0
+
+
+def check_service_stats(args: argparse.Namespace) -> int:
+    record = _load(args.file)
+    for flag in ("dedupe_same_id", "dedupe_not_recreated",
+                 "sweep_digests_equal", "cluster_digests_equal"):
+        if not record.get(flag):
+            return _fail(
+                f"{args.file}: {flag} is {record.get(flag)!r} "
+                f"(sweep {record.get('sweep_digest_service')} vs "
+                f"{record.get('sweep_digest_cli')}, cluster "
+                f"{record.get('cluster_digest_service')} vs "
+                f"{record.get('cluster_digest_cli')})"
+            )
+    if record.get("server_exit") != 0:
+        return _fail(
+            f"{args.file}: server exited {record.get('server_exit')} on "
+            f"SIGTERM, wanted 0; log tail:\n{record.get('server_log_tail')}"
+        )
+    if record.get("soak") and record.get("storm_unique_ids") != 1:
+        return _fail(
+            f"{args.file}: duplicate storm produced "
+            f"{record.get('storm_unique_ids')} job id(s), wanted 1"
+        )
+    if not record.get("ok"):
+        return _fail(f"{args.file}: record not ok: {record}")
+    print(f"OK: {args.file}: service digests match CLI "
+          f"(sweep {record['sweep_digest_service'][:16]}…, "
+          f"cluster {record['cluster_digest_service'][:16]}…), "
+          f"dedupe held, server exit 0")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -170,6 +242,16 @@ def main(argv=None) -> int:
                        help="assert SIGKILL-and-resume digest parity")
     p.add_argument("files", nargs="+")
     p.set_defaults(func=check_chaos_stats)
+
+    p = sub.add_parser("metrics-text",
+                       help="validate a scraped /metrics exposition")
+    p.add_argument("file")
+    p.set_defaults(func=check_metrics_text)
+
+    p = sub.add_parser("service-stats",
+                       help="assert the service-smoke record's invariants")
+    p.add_argument("file")
+    p.set_defaults(func=check_service_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

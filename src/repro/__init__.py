@@ -25,6 +25,7 @@ Package map:
 * :mod:`repro.parallel`  -- sweep fan-out and the on-disk result cache.
 * :mod:`repro.telemetry` -- span tracer, gauge probes, Perfetto/CSV export.
 * :mod:`repro.analysis`  -- Belady replay, critical paths, report formatting.
+* :mod:`repro.service`   -- the async HTTP job API (``python -m repro serve``).
 """
 
 from repro.config import (
@@ -68,7 +69,9 @@ from repro.faults import (
 # entries so cached and recomputed results stay bit-identical.
 # 1.2.0: SimulationConfig grew the ``telemetry`` field (serialized, hence
 # part of every cache key); the bump invalidates pre-telemetry entries.
-__version__ = "1.4.0"
+# 1.5.0: the version now also salts service job ids (repro.service), so
+# the bump rolls every job id along with every cache key.
+__version__ = "1.5.0"
 
 from repro.parallel import (  # noqa: E402 - needs __version__ for cache keys
     ResultCache,

@@ -15,6 +15,13 @@ Commands
                its epoch checkpoints, and assert the recovered digest is
                bit-identical to an uninterrupted run
                (:mod:`repro.cluster_scale.chaos`).
+``serve``    — the simulation-as-a-service HTTP job API: POST configs,
+               poll job state, download digest-stamped results and
+               Perfetto traces, scrape Prometheus metrics
+               (:mod:`repro.service`).
+``cache``    — inspect the content-addressed result cache: entry and
+               size statistics, per-version counts, and stale-entry
+               pruning after version bumps.
 ``storage``  — print the Section 6.8 hardware cost accounting.
 ``trace``    — run one system with telemetry enabled and export a
                Perfetto trace, a gauge time-series CSV, and the
@@ -35,6 +42,8 @@ Examples::
     python -m repro cluster --servers 8 --requests 4000 --epochs 4 \\
         --fault-plan crash-storm --checkpoint
     python -m repro chaos --servers 3 --epochs 4 --workers 2
+    python -m repro serve --port 8023 --service-workers 2
+    python -m repro cache --prune-stale --stats-json cache_stats.json
     python -m repro storage
     python -m repro trace --system HardHarvest-Block --out traces/
     python -m repro profile --horizon-ms 60 --sort tottime --top 15
@@ -97,6 +106,14 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"config: {exc}", file=sys.stderr)
             return 2
         if loaded_sim is not None:
+            from repro.service.spec import JobValidationError, validate_simulation
+
+            try:
+                validate_simulation(loaded_sim)
+            except JobValidationError as exc:
+                print(f"--config {args.config!r}: invalid field "
+                      f"{exc.field!r}: {exc}", file=sys.stderr)
+                return 2
             simcfg = loaded_sim
         name = system.name
     else:
@@ -422,7 +439,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         write_sweep_csv(args.csv, outcome.results)
         print(f"wrote CSV results to {args.csv}")
     if args.stats_json:
+        from repro.core.export import sweep_results_digest
+
         _write_stats_json(args.stats_json, {
+            "digest": sweep_results_digest(outcome.results),
             "points": spec.size(),
             "computed": outcome.computed,
             "from_cache": outcome.from_cache,
@@ -571,6 +591,57 @@ def cmd_trace(args: argparse.Namespace) -> int:
           f"load at https://ui.perfetto.dev)")
     print(f"wrote {csv_path}")
     print(f"wrote {report_path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation-as-a-service HTTP job API (repro.service)."""
+    from repro.service import JobService
+
+    service = JobService(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        max_queue=args.max_queue,
+        service_workers=args.service_workers,
+        grace_s=args.grace_s,
+    )
+    try:
+        service.run()
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and manage the content-addressed result cache."""
+    from repro.parallel import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    pruned = 0
+    if args.prune_stale:
+        pruned = cache.prune_stale()
+        print(f"pruned {pruned} stale entr{'y' if pruned == 1 else 'ies'}")
+    disk = cache.disk_stats()
+    print(f"cache [{args.cache_dir}] version {cache.version}:")
+    print(f"  entries        {disk['entries']:8d} "
+          f"({disk['bytes'] / 1024:.1f} KB)")
+    print(f"  current        {disk['current']:8d}")
+    print(f"  stale          {disk['stale']:8d}"
+          + ("  (reclaim with --prune-stale)" if disk["stale"] else ""))
+    print(f"  jobs           {disk['jobs']:8d} service job record(s)")
+    for version, count in sorted(disk["by_version"].items()):
+        print(f"    {version:12s} {count:6d}")
+    if args.stats_json:
+        _write_stats_json(args.stats_json, {
+            **disk,
+            "version": cache.version,
+            "pruned": pruned,
+            "session": cache.stats.as_dict(),
+        })
     return 0
 
 
@@ -806,6 +877,48 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also dump the raw pstats file here")
     common(p_pr)
     p_pr.set_defaults(func=cmd_profile)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="HTTP job API: POST configs, poll jobs, download digested "
+             "results and traces, scrape Prometheus metrics "
+             "(repro.service)",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default 127.0.0.1)")
+    p_sv.add_argument("--port", type=int, default=8023,
+                      help="bind port (default 8023; 0 = ephemeral)")
+    p_sv.add_argument("--cache-dir", default=".repro_cache",
+                      help="result cache + job store root "
+                           "(default .repro_cache)")
+    p_sv.add_argument("--no-cache", action="store_true",
+                      help="run jobs without the result cache (job records "
+                           "still persist under <cache-dir>/jobs)")
+    p_sv.add_argument("--max-queue", type=int, default=64,
+                      help="admission limit on queued jobs (default 64)")
+    p_sv.add_argument("--service-workers", type=int, default=2,
+                      help="concurrent jobs the service executes "
+                           "(default 2; each job also has its own "
+                           "per-job 'workers' process pool)")
+    p_sv.add_argument("--grace-s", type=float, default=30.0,
+                      help="seconds SIGTERM/SIGINT waits for in-flight "
+                           "jobs before requeueing them (default 30)")
+    p_sv.set_defaults(func=cmd_serve)
+
+    p_ca = sub.add_parser(
+        "cache",
+        help="inspect .repro_cache: entry/size stats and stale-entry "
+             "pruning after version bumps",
+    )
+    p_ca.add_argument("--cache-dir", default=".repro_cache",
+                      help="result cache directory (default .repro_cache)")
+    p_ca.add_argument("--prune-stale", action="store_true",
+                      help="delete entries recorded under other package "
+                           "versions (they can never be returned; this "
+                           "reclaims their disk space)")
+    p_ca.add_argument("--stats-json", default=None,
+                      help="write the disk statistics JSON here")
+    p_ca.set_defaults(func=cmd_cache)
 
     p_st = sub.add_parser("storage", help="Section 6.8 hardware cost")
     p_st.set_defaults(func=cmd_storage)

@@ -19,7 +19,9 @@ record this module emits.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal
 import subprocess
 import sys
 import time
@@ -85,6 +87,34 @@ def _chaos_configs(
     return system, sim, cfg
 
 
+@contextlib.contextmanager
+def _graceful_signals(say):
+    """Convert SIGTERM/SIGINT into :class:`SystemExit` for the duration.
+
+    The soak owns a victim subprocess and (usually) a temp checkpoint
+    directory; a raised SystemExit unwinds through the ``try/finally``
+    blocks that kill the victim and remove the directory, where a bare
+    signal death would orphan both.  Original handlers are restored on
+    exit so the surrounding process (pytest, a shell) is unaffected.
+    """
+
+    def _handler(signum, _frame):
+        say(f"received {signal.Signals(signum).name}; cleaning up")
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:  # not the main thread: run unguarded
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def _count_checkpoints(store: CheckpointStore, epochs: int) -> int:
     """Epoch files present on disk (existence only — validation is the
     resuming loader's job)."""
@@ -121,13 +151,52 @@ def run_chaos_soak(
     finish before the poller catches it — the record then notes
     ``killed: false`` and the resume degenerates to a full checkpoint
     replay, which still must reproduce the digest.
+
+    SIGTERM/SIGINT during the soak unwind as :class:`SystemExit` (see
+    :func:`_graceful_signals`): the victim subprocess is killed and an
+    owned temp checkpoint directory is removed on the way out.
     """
+    import shutil
     import tempfile
 
     def say(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
+    owns_root = checkpoint_root is None
+    if owns_root:
+        checkpoint_root = tempfile.mkdtemp(prefix="repro_chaos_")
+    try:
+        with _graceful_signals(say):
+            return _run_soak(
+                system_name, servers, requests, epochs, epoch_ms, routing,
+                plan_name, seed, accesses, workers, checkpoint_root,
+                kill_after_epochs, poll_s, kill_timeout_s, say,
+            )
+    finally:
+        # However the soak ends — normal return, a raised soak failure,
+        # or a signal unwinding — a temp directory never outlives it.
+        if owns_root:
+            shutil.rmtree(checkpoint_root, ignore_errors=True)
+
+
+def _run_soak(
+    system_name: str,
+    servers: int,
+    requests: int,
+    epochs: int,
+    epoch_ms: float,
+    routing: str,
+    plan_name: str,
+    seed: int,
+    accesses: int,
+    workers: int,
+    checkpoint_root: str,
+    kill_after_epochs: int,
+    poll_s: float,
+    kill_timeout_s: float,
+    say,
+) -> Dict:
     if not 1 <= kill_after_epochs < epochs:
         raise ValueError(
             f"kill_after_epochs must be in [1, {epochs - 1}], got "
@@ -145,9 +214,6 @@ def run_chaos_soak(
     reference_wall = time.monotonic() - t0
     reference_digest = reference.digest()
 
-    owns_root = checkpoint_root is None
-    if owns_root:
-        checkpoint_root = tempfile.mkdtemp(prefix="repro_chaos_")
     store = CheckpointStore(root=checkpoint_root, run_key=run_key)
 
     # The victim: an identical run via the real CLI, checkpointing on.
@@ -209,15 +275,10 @@ def run_chaos_soak(
     resumed = run_cluster_scale(
         system, sim, cfg, workers=workers,
         checkpoint=CheckpointStore(root=checkpoint_root, run_key=run_key),
-        progress=progress,
+        progress=say,
     )
     resume_wall = time.monotonic() - t0
     resumed_digest = resumed.digest()
-
-    if owns_root:
-        import shutil
-
-        shutil.rmtree(checkpoint_root, ignore_errors=True)
 
     curve = [
         {

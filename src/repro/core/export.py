@@ -143,6 +143,25 @@ def server_result_from_dict(data: Dict) -> ServerResult:
     )
 
 
+def sweep_results_digest(results: Dict[str, ServerResult]) -> str:
+    """sha256 over the canonical JSON of the lossless sweep encoding.
+
+    This is *the* sweep determinism fingerprint: the CLI stamps it into
+    ``--stats-json`` and the job service stamps it into every sweep
+    result, so "service output == CLI output" reduces to string equality.
+    Labels participate (they carry system name and seed), wall time and
+    cache provenance do not.
+    """
+    import hashlib
+
+    # Imported here, not at module top: repro.parallel imports this
+    # module for the lossless codec.
+    from repro.parallel.cache import canonical_json
+
+    payload = {label: server_result_to_dict(r) for label, r in results.items()}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
 def write_sweep_json(path: str, results: Dict[str, ServerResult]) -> None:
     """Write sweep results keyed by point label (lossless encoding)."""
     payload = {label: server_result_to_dict(r) for label, r in results.items()}

@@ -140,7 +140,8 @@ class ResultCache:
             return 0
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
+            # "jobs" holds repro.service job records, not cache entries.
+            if not os.path.isdir(shard_dir) or shard == "jobs":
                 continue
             for name in sorted(os.listdir(shard_dir)):
                 if not name.endswith(".json"):
@@ -161,12 +162,57 @@ class ResultCache:
                         pass
         return removed
 
+    def disk_stats(self) -> Dict[str, Any]:
+        """Walk the cache directory and summarize what is on disk.
+
+        Returns ``entries`` / ``bytes`` / ``current`` / ``stale`` counts,
+        a ``by_version`` breakdown (unreadable entries count under
+        ``"<corrupt>"``), and the number of service job records under
+        ``<root>/jobs`` — the payload behind ``python -m repro cache``.
+        """
+        stats: Dict[str, Any] = {
+            "entries": 0, "bytes": 0, "current": 0, "stale": 0,
+            "by_version": {}, "jobs": 0,
+        }
+        if not os.path.isdir(self.root):
+            return stats
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir) or shard == "jobs":
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stats["bytes"] += os.path.getsize(path)
+                    with open(path) as fh:
+                        version = json.load(fh).get("version", "<corrupt>")
+                except (ValueError, OSError):
+                    version = "<corrupt>"
+                stats["entries"] += 1
+                if version == self.version:
+                    stats["current"] += 1
+                else:
+                    stats["stale"] += 1
+                stats["by_version"][version] = (
+                    stats["by_version"].get(version, 0) + 1
+                )
+        jobs_dir = os.path.join(self.root, "jobs")
+        if os.path.isdir(jobs_dir):
+            stats["jobs"] = sum(
+                1 for n in os.listdir(jobs_dir)
+                if n.endswith(".json")
+                and not n.endswith((".result.json", ".trace.json"))
+            )
+        return stats
+
     def __len__(self) -> int:
         count = 0
         if not os.path.isdir(self.root):
             return 0
         for shard in os.listdir(self.root):
             shard_dir = os.path.join(self.root, shard)
-            if os.path.isdir(shard_dir):
+            if os.path.isdir(shard_dir) and shard != "jobs":
                 count += sum(1 for n in os.listdir(shard_dir) if n.endswith(".json"))
         return count

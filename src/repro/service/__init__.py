@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: an async HTTP job API over the runners.
+
+Submit a :class:`~repro.config.SimulationConfig` sweep or a
+:class:`~repro.cluster_scale.spec.ClusterScaleConfig` run as JSON, get a
+content-addressed job id back, poll it, download the result (digest-
+identical to the CLI on the same config) and the Perfetto trace, scrape
+Prometheus metrics.  ``python -m repro serve`` starts it; see
+``docs/api.md`` for the endpoint contract.
+
+* :mod:`repro.service.spec` — request parsing/validation + job identity;
+* :mod:`repro.service.jobs` — persistent records, store, JobManager;
+* :mod:`repro.service.executor` — bridges claimed jobs onto the runners;
+* :mod:`repro.service.metrics` — Prometheus text exposition;
+* :mod:`repro.service.http` — asyncio front end + graceful shutdown;
+* :mod:`repro.service.client` — stdlib client used by tests and CI.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import JobService, ServiceHandle, start_in_thread
+from repro.service.jobs import JobManager, JobRecord, JobStore, QueueFullError
+from repro.service.spec import (
+    JobRequest,
+    JobValidationError,
+    job_content_id,
+    parse_job_request,
+    validate_simulation,
+)
+
+__all__ = [
+    "JobManager",
+    "JobRecord",
+    "JobRequest",
+    "JobService",
+    "JobStore",
+    "JobValidationError",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "job_content_id",
+    "parse_job_request",
+    "start_in_thread",
+    "validate_simulation",
+]

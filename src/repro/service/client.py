@@ -1,0 +1,112 @@
+"""Minimal blocking client for the job service (stdlib ``http.client``).
+
+Used by the tests, the CI smoke scripts, and anything that wants to
+drive a running ``python -m repro serve`` without hand-rolling HTTP.
+Raises :class:`ServiceError` (carrying the status code and decoded error
+body) for any non-2xx response, except where a status is part of the
+protocol (``wait`` polls through 202s).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, body: Any):
+        self.status = status
+        self.body = body
+        message = body.get("error") if isinstance(body, dict) else str(body)
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """One service endpoint; a fresh connection per call (the server is
+    ``Connection: close``)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023,
+                 timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            conn.request(
+                method, path, body=payload,
+                headers={"Content-Type": "application/json"} if payload else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if "json" in content_type:
+                decoded: Any = json.loads(raw.decode("utf-8"))
+            else:
+                decoded = raw.decode("utf-8")
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 ok=(200, 201, 202)) -> Any:
+        status, decoded = self._request(method, path, body)
+        if status not in ok:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- API -----------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._checked("GET", "/metrics")
+
+    def submit(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /jobs; returns the job status dict (with ``created``)."""
+        return self._checked("POST", "/jobs", body=job, ok=(200, 201))
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """GET the result payload; raises if the job is not ``done``."""
+        return self._checked("GET", f"/jobs/{job_id}/result", ok=(200,))
+
+    def trace(self, job_id: str) -> str:
+        """GET the Perfetto trace JSON text."""
+        status, decoded = self._request("GET", f"/jobs/{job_id}/trace")
+        if status != 200:
+            raise ServiceError(status, decoded)
+        return decoded if isinstance(decoded, str) else json.dumps(decoded)
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its status.
+
+        Raises :class:`TimeoutError` if it does not settle in time and
+        :class:`ServiceError` if it settles on ``failed``.
+        """
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            status = self.status(job_id)
+            if status["state"] == "done":
+                return status
+            if status["state"] == "failed":
+                raise ServiceError(409, {"error": status["error"]})
+            time.sleep(poll_s)
+        raise TimeoutError(
+            f"job {job_id} not done within {timeout_s}s "
+            f"(last state: {status['state']})"
+        )

@@ -1,0 +1,162 @@
+"""Job execution: bridge one claimed job onto the hardened runners.
+
+This is plain synchronous code — the HTTP layer runs it on a worker
+thread so the event loop never blocks.  Each job gets its *own*
+:class:`ResultCache` instance over the shared cache root: the on-disk
+store is concurrency-safe (atomic writes, content-addressed), but the
+per-instance hit/miss counters are not, so per-job instances keep the
+numbers exact and :meth:`JobManager.fold_cache_stats` aggregates them.
+
+The result payload written for a sweep job carries the exact digest
+``python -m repro sweep --stats-json`` reports
+(:func:`repro.core.export.sweep_results_digest`); a cluster job carries
+``ClusterScaleResult.digest()``, the same value ``python -m repro
+cluster`` prints.  Digest equality across the service and CLI paths is
+therefore equality *by construction*, and the tests/CI gate verify it
+end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.parallel.cache import ResultCache
+from repro.service.jobs import JobRecord, JobStore
+from repro.service.spec import JobRequest
+
+
+def _telemetry_enabled(request: JobRequest) -> bool:
+    return request.sim.telemetry is not None and request.sim.telemetry.enabled
+
+
+def _export_trace(request: JobRequest, store: JobStore, job_id: str) -> int:
+    """Re-run the job's first point with the live-object API and write a
+    Perfetto trace next to the result.
+
+    Telemetry is zero-perturbation (results are bit-identical on/off),
+    so this extra serial run costs wall time but cannot change what the
+    job returns; it exists because the process-pool runners only ship
+    serialized results back, never live tracer objects.
+    """
+    from repro.core.experiment import run_server_raw
+    from repro.telemetry.export import write_perfetto_json
+
+    if request.kind == "sweep":
+        point = request.points()[0]
+        sim = run_server_raw(
+            point.system, point.sim, batch_job=point.batch_job,
+            server_index=point.server_index,
+        )
+    else:
+        sim = run_server_raw(request.cluster_system(), request.sim)
+    vm_names = {vm.vm_id: vm.name for vm in sim.primary_vms}
+    for hvm in sim.harvest_vms:
+        vm_names[hvm.vm_id] = hvm.name
+    return write_perfetto_json(
+        store.trace_path(job_id), sim.tracer.events(), vm_names, len(sim.cores)
+    )
+
+
+def _run_sweep_job(
+    request: JobRequest,
+    cache: Optional[ResultCache],
+    progress: Callable[[str], None],
+) -> Dict[str, Any]:
+    from repro.core.export import server_result_to_dict, sweep_results_digest
+    from repro.parallel.runner import run_sweep
+
+    points = request.points()
+    progress(f"sweep: {len(points)} point(s), workers={request.workers}")
+    outcome = run_sweep(
+        points, workers=request.workers, cache=cache, quarantine=False
+    )
+    return {
+        "kind": "sweep",
+        "digest": sweep_results_digest(outcome.results),
+        "points": len(points),
+        "computed": outcome.computed,
+        "from_cache": outcome.from_cache,
+        "retried": outcome.retried,
+        "elapsed_s": outcome.elapsed_s,
+        "results": {
+            label: server_result_to_dict(r)
+            for label, r in outcome.results.items()
+        },
+    }
+
+
+def _run_cluster_job(
+    request: JobRequest,
+    cache: Optional[ResultCache],
+    progress: Callable[[str], None],
+) -> Dict[str, Any]:
+    from repro.cluster_scale.runner import run_cluster_scale
+
+    cfg = request.cluster
+    started = time.monotonic()
+    result = run_cluster_scale(
+        request.cluster_system(),
+        sim=request.sim,
+        cfg=cfg,
+        workers=request.workers,
+        cache=cache,
+        progress=progress,
+    )
+    return {
+        "kind": "cluster",
+        "digest": result.digest(),
+        "servers": cfg.servers,
+        "epochs": cfg.epochs,
+        "summary": result.summary_dict(),
+        "resilience_curve": result.resilience_curve(),
+        "elapsed_s": time.monotonic() - started,
+        "result": result.to_dict(),
+    }
+
+
+def execute_job(
+    record: JobRecord,
+    request: JobRequest,
+    store: JobStore,
+    cache_root: Optional[str],
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run one claimed job to completion; persist result (and trace).
+
+    Returns a small summary for the metrics endpoint:
+    ``{"digest", "kind", "elapsed_s", "avg_p99_ms", "avg_busy_cores",
+    "trace_events", "cache_stats"}``.  Exceptions propagate to the
+    caller, which marks the job failed.
+    """
+    notify = progress or (lambda message: None)
+    cache = ResultCache(root=cache_root) if cache_root is not None else None
+    if request.kind == "sweep":
+        payload = _run_sweep_job(request, cache, notify)
+        results = payload["results"]
+        p99s = [
+            p99 for r in results.values() for p99 in r["p99_ms"].values()
+        ]
+        avg_p99 = sum(p99s) / len(p99s) if p99s else 0.0
+        busy = [r["avg_busy_cores"] for r in results.values()]
+        avg_busy = sum(busy) / len(busy) if busy else 0.0
+    else:
+        payload = _run_cluster_job(request, cache, notify)
+        avg_p99 = payload["summary"]["avg_p99_ms"]
+        avg_busy = payload["summary"]["avg_busy_cores"]
+
+    trace_events = 0
+    if _telemetry_enabled(request):
+        notify("exporting telemetry trace")
+        trace_events = _export_trace(request, store, record.job_id)
+    payload["trace_events"] = trace_events
+    store.write_result(record.job_id, payload)
+    return {
+        "digest": payload["digest"],
+        "kind": payload["kind"],
+        "elapsed_s": payload["elapsed_s"],
+        "avg_p99_ms": avg_p99,
+        "avg_busy_cores": avg_busy,
+        "trace_events": trace_events,
+        "cache_stats": cache.stats if cache is not None else None,
+    }

@@ -1,0 +1,336 @@
+"""Persistent job records, the on-disk job store, and the JobManager.
+
+Layout mirrors the result cache: everything lives under
+``<cache_root>/jobs/`` with atomic temp-plus-rename writes, so a crashed
+or SIGTERM'd service never leaves a torn record and a restarted one can
+pick up exactly where it stopped:
+
+* ``<job_id>.json`` — the :class:`JobRecord` (normalized request body,
+  state, timestamps, error);
+* ``<job_id>.result.json`` — the result payload, written once when the
+  job completes (completed work survives restarts for free);
+* ``<job_id>.trace.json`` — the Perfetto trace, when telemetry was on.
+
+State machine: ``queued -> running -> done | failed``.  On startup
+:meth:`JobManager.recover` folds any ``running`` record back to
+``queued`` (the process died mid-job) and re-enqueues all queued work in
+original submission order.  :meth:`JobManager.requeue_unfinished` does
+the same at shutdown so jobs still in flight when the grace period
+expires are resumed by the next process rather than lost.
+
+Dedupe contract: the job id *is* the content hash of the job's identity
+(:func:`repro.service.spec.job_content_id`), so concurrent clients
+posting the same configuration race benignly — whoever arrives first
+creates the record, everyone else gets the same id back and exactly one
+underlying run happens.  A ``failed`` job is the one exception:
+resubmitting it resets the record to ``queued`` for another attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.ioutil import atomic_open
+from repro.parallel.cache import DEFAULT_CACHE_DIR, CacheStats
+from repro.service.spec import JobRequest, job_content_id, parse_job_request
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejected a submission (queue at capacity)."""
+
+
+@dataclass
+class JobRecord:
+    """One job's persistent state (everything but the result payload)."""
+
+    job_id: str
+    kind: str
+    request: Dict[str, Any]
+    state: str = "queued"
+    workers: int = 1
+    submitted_s: float = 0.0
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    #: Last progress line from the runner (in-memory only; not persisted
+    #: because it would mean a disk write per epoch).
+    progress: str = field(default="", compare=False)
+    error: Optional[str] = None
+    digest: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out.pop("progress")
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        known = {f for f in cls.__dataclass_fields__ if f != "progress"}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def status_dict(self) -> Dict[str, Any]:
+        """What ``GET /jobs/{id}`` returns."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "workers": self.workers,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "progress": self.progress,
+            "error": self.error,
+            "digest": self.digest,
+        }
+
+
+class JobStore:
+    """Atomic on-disk persistence for job records and result payloads."""
+
+    def __init__(self, cache_root: str = DEFAULT_CACHE_DIR):
+        self.root = os.path.join(cache_root, "jobs")
+
+    def job_path(self, job_id: str) -> str:
+        return os.path.join(self.root, f"{job_id}.json")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.root, f"{job_id}.result.json")
+
+    def trace_path(self, job_id: str) -> str:
+        return os.path.join(self.root, f"{job_id}.trace.json")
+
+    def save(self, record: JobRecord) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        with atomic_open(self.job_path(record.job_id)) as fh:
+            json.dump(record.to_dict(), fh, indent=2)
+
+    def load(self, job_id: str) -> Optional[JobRecord]:
+        try:
+            with open(self.job_path(job_id)) as fh:
+                return JobRecord.from_dict(json.load(fh))
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    def load_all(self) -> List[JobRecord]:
+        """Every readable job record, oldest submission first."""
+        if not os.path.isdir(self.root):
+            return []
+        records = []
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json") or name.endswith(
+                (".result.json", ".trace.json")
+            ):
+                continue
+            record = self.load(name[: -len(".json")])
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda r: (r.submitted_s, r.job_id))
+        return records
+
+    def write_result(self, job_id: str, payload: Dict[str, Any]) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        with atomic_open(self.result_path(job_id)) as fh:
+            json.dump(payload, fh, indent=2)
+
+    def read_result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.result_path(job_id)) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+
+class JobManager:
+    """Thread-safe job table with bounded admission and content dedupe.
+
+    The manager owns all state transitions; the HTTP layer and the worker
+    pool only ever call its methods.  Every mutation persists the record
+    through the :class:`JobStore` before returning, so the on-disk view
+    is never newer than the in-memory one.
+    """
+
+    def __init__(self, store: JobStore, max_queue: int = 64):
+        self.store = store
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self.jobs: Dict[str, JobRecord] = {}
+        self._pending: Deque[str] = deque()
+        # Service-lifetime counters (exported by /metrics).
+        self.submitted = 0
+        self.deduped = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.resumed = 0
+        #: Job ids actually executed by this process — the concurrency
+        #: tests assert one execution per unique config.
+        self.executions: List[str] = []
+        self._cache_totals = CacheStats()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, body: Any) -> Tuple[JobRecord, bool]:
+        """Validate + admit one job body.
+
+        Returns ``(record, created)``; ``created`` is False when the
+        submission deduped onto an existing job.  Raises
+        :class:`~repro.service.spec.JobValidationError` on a bad body and
+        :class:`QueueFullError` when admission control rejects it.
+        """
+        request = parse_job_request(body)
+        job_id = job_content_id(request)
+        with self._lock:
+            existing = self.jobs.get(job_id)
+            if existing is not None and existing.state != "failed":
+                self.deduped += 1
+                return existing, False
+            if len(self._pending) >= self.max_queue:
+                self.rejected += 1
+                raise QueueFullError(
+                    f"submission queue full ({self.max_queue} job(s) pending)"
+                )
+            if existing is not None:  # failed -> retry from scratch
+                record = existing
+                record.state = "queued"
+                record.error = None
+                record.started_s = None
+                record.finished_s = None
+                record.submitted_s = time.time()
+            else:
+                record = JobRecord(
+                    job_id=job_id,
+                    kind=request.kind,
+                    request=request.to_request_dict(),
+                    workers=request.workers,
+                    submitted_s=time.time(),
+                )
+                self.jobs[job_id] = record
+            self.submitted += 1
+            self._pending.append(job_id)
+            self.store.save(record)
+            return record, True
+
+    # -- worker-side transitions --------------------------------------
+    def claim(self, job_id: str) -> Optional[Tuple[JobRecord, JobRequest]]:
+        """Move a queued job to ``running``; None if it is not claimable
+        (already ran, or its persisted request no longer parses)."""
+        with self._lock:
+            record = self.jobs.get(job_id)
+            if record is None or record.state != "queued":
+                return None
+            try:
+                request = parse_job_request(record.request)
+            except ValueError as exc:
+                record.state = "failed"
+                record.error = f"persisted request no longer valid: {exc}"
+                record.finished_s = time.time()
+                self.failed += 1
+                self.store.save(record)
+                return None
+            record.state = "running"
+            record.started_s = time.time()
+            record.progress = ""
+            self.executions.append(job_id)
+            self.store.save(record)
+            return record, request
+
+    def finish(self, job_id: str, digest: str) -> None:
+        with self._lock:
+            record = self.jobs[job_id]
+            record.state = "done"
+            record.digest = digest
+            record.finished_s = time.time()
+            self.completed += 1
+            self.store.save(record)
+
+    def fail(self, job_id: str, error: str) -> None:
+        with self._lock:
+            record = self.jobs.get(job_id)
+            if record is None:
+                return
+            record.state = "failed"
+            record.error = error
+            record.finished_s = time.time()
+            self.failed += 1
+            self.store.save(record)
+
+    def set_progress(self, job_id: str, message: str) -> None:
+        record = self.jobs.get(job_id)
+        if record is not None:
+            record.progress = message
+
+    def fold_cache_stats(self, stats: CacheStats) -> None:
+        """Accumulate one job's ResultCache counters into the service
+        totals (each job runs with its own cache instance over the shared
+        root, so counters never race across worker threads)."""
+        with self._lock:
+            self._cache_totals.hits += stats.hits
+            self._cache_totals.misses += stats.misses
+            self._cache_totals.stores += stats.stores
+            self._cache_totals.invalidations += stats.invalidations
+
+    # -- recovery ------------------------------------------------------
+    def recover(self) -> List[str]:
+        """Load persisted jobs at startup; return ids needing execution.
+
+        ``running`` records mean a previous process died mid-job: they
+        fold back to ``queued``.  Completed/failed records are kept so
+        their results stay servable and dedupe keeps working.
+        """
+        to_run: List[str] = []
+        with self._lock:
+            for record in self.store.load_all():
+                self.jobs[record.job_id] = record
+                if record.state == "running":
+                    record.state = "queued"
+                    self.store.save(record)
+                if record.state == "queued":
+                    self._pending.append(record.job_id)
+                    to_run.append(record.job_id)
+                    self.resumed += 1
+        return to_run
+
+    def requeue_unfinished(self) -> List[str]:
+        """Mark every non-terminal job ``queued`` on disk (shutdown path:
+        the next service process resumes them)."""
+        requeued = []
+        with self._lock:
+            for record in self.jobs.values():
+                if record.state in ("queued", "running"):
+                    record.state = "queued"
+                    self.store.save(record)
+                    requeued.append(record.job_id)
+        return requeued
+
+    # -- introspection -------------------------------------------------
+    def pop_pending(self) -> Optional[str]:
+        with self._lock:
+            return self._pending.popleft() if self._pending else None
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self.jobs.get(job_id)
+
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for record in self.jobs.values():
+                counts[record.state] += 1
+            return counts
+
+    def cache_totals(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._cache_totals.hits,
+                misses=self._cache_totals.misses,
+                stores=self._cache_totals.stores,
+                invalidations=self._cache_totals.invalidations,
+            )

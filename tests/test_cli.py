@@ -110,3 +110,120 @@ def test_parser_defaults():
     args = build_parser().parse_args(["run"])
     assert args.system == "HardHarvest-Block"
     assert args.horizon_ms == 300.0
+
+
+def test_run_config_invalid_field_named(capsys, tmp_path):
+    """A --config file with a bad field value exits 2 naming the field."""
+    import json
+
+    cfg_path = tmp_path / "cfg.json"
+    rc = main(["run", "--system", "NoHarvest", "--horizon-ms", "10",
+               "--accesses", "2", "--dump-config", str(cfg_path)])
+    assert rc == 0
+    capsys.readouterr()
+
+    def poison(obj):
+        if isinstance(obj, dict):
+            if obj.get("__type__") == "SimulationConfig":
+                obj["horizon_ms"] = -5.0
+            for value in obj.values():
+                poison(value)
+        elif isinstance(obj, list):
+            for value in obj:
+                poison(value)
+
+    cfg = json.loads(cfg_path.read_text())
+    poison(cfg)
+    cfg_path.write_text(json.dumps(cfg))
+    rc = main(["run", "--config", str(cfg_path)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "invalid field 'horizon_ms'" in err
+    assert "must be positive" in err
+
+
+def test_sweep_stats_json_carries_digest(capsys, tmp_path):
+    import json
+
+    stats_path = tmp_path / "stats.json"
+    argv = ["sweep", "--systems", "NoHarvest", "--seeds", "0",
+            "--horizon-ms", "12", "--accesses", "3", "--no-cache",
+            "--stats-json", str(stats_path)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    first = json.loads(stats_path.read_text())
+    assert len(first["digest"]) == 64
+
+    assert main(argv) == 0
+    capsys.readouterr()
+    second = json.loads(stats_path.read_text())
+    assert second["digest"] == first["digest"], "sweep digest not stable"
+
+
+def test_cache_command_stats_and_prune(capsys, tmp_path):
+    import json
+
+    cache_dir = tmp_path / "cache"
+    # Populate the cache with one real entry.
+    rc = main(["sweep", "--systems", "NoHarvest", "--seeds", "0",
+               "--horizon-ms", "12", "--accesses", "3",
+               "--cache-dir", str(cache_dir)])
+    assert rc == 0
+    capsys.readouterr()
+
+    # Plant a stale entry (wrong version) by hand.
+    stale_dir = cache_dir / "ff"
+    stale_dir.mkdir(parents=True, exist_ok=True)
+    (stale_dir / ("f" * 64 + ".json")).write_text(
+        json.dumps({"version": "0.0.1", "payload": {}, "result": {}})
+    )
+
+    stats_path = tmp_path / "cache_stats.json"
+    rc = main(["cache", "--cache-dir", str(cache_dir),
+               "--stats-json", str(stats_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "stale" in out
+    stats = json.loads(stats_path.read_text())
+    assert stats["entries"] == 2
+    assert stats["current"] == 1
+    assert stats["stale"] == 1
+    assert stats["by_version"]["0.0.1"] == 1
+
+    rc = main(["cache", "--cache-dir", str(cache_dir), "--prune-stale",
+               "--stats-json", str(stats_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 stale entry" in out
+    stats = json.loads(stats_path.read_text())
+    assert stats["entries"] == 1
+    assert stats["stale"] == 0
+    assert stats["pruned"] == 1
+
+
+def test_cache_prune_never_touches_job_records(capsys, tmp_path):
+    """The service job store shares the cache root; pruning must skip it."""
+    import json
+
+    cache_dir = tmp_path / "cache"
+    jobs_dir = cache_dir / "jobs"
+    jobs_dir.mkdir(parents=True)
+    (jobs_dir / "abc.json").write_text(json.dumps(
+        {"job_id": "abc", "kind": "sweep", "request": {},
+         "state": "done", "workers": 1, "submitted_s": 0.0}
+    ))
+    rc = main(["cache", "--cache-dir", str(cache_dir), "--prune-stale"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pruned 0 stale" in out
+    assert "1 service job record(s)" in out
+    assert (jobs_dir / "abc.json").exists()
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.port == 8023
+    assert args.service_workers == 2
+    assert args.grace_s == 30.0
+    args = build_parser().parse_args(["cache", "--prune-stale"])
+    assert args.prune_stale is True

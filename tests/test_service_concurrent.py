@@ -1,0 +1,104 @@
+"""Concurrent-submission coverage: the satellite's three guarantees.
+
+1. N parallel clients posting the *same* config converge on one job id
+   and exactly one underlying execution;
+2. differing configs run independently (distinct ids, all complete);
+3. every digest handed back equals the direct runner's digest for that
+   config.
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.export import sweep_results_digest
+from repro.core.presets import all_systems
+from repro.parallel.runner import run_sweep
+from repro.parallel.sweep import SweepSpec
+from repro.service import ServiceClient, start_in_thread
+
+TINY_SIM = {"horizon_ms": 12.0, "warmup_ms": 2.0, "accesses_per_segment": 3}
+
+
+def sweep_body(seed: int):
+    return {
+        "kind": "sweep",
+        "systems": "NoHarvest",
+        "seeds": str(seed),
+        "simulation": dict(TINY_SIM),
+    }
+
+
+def direct_digest(seed: int) -> str:
+    spec = SweepSpec(
+        systems={"NoHarvest": all_systems()["NoHarvest"]},
+        seeds=(seed,),
+        sim=SimulationConfig(**TINY_SIM),
+    )
+    return sweep_results_digest(run_sweep(spec).results)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    handle = start_in_thread(
+        cache_dir=str(tmp_path / "cache"), service_workers=2, max_queue=32
+    )
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+def test_same_config_from_many_clients_runs_once(service):
+    clients = [ServiceClient(port=service.port) for _ in range(6)]
+    with concurrent.futures.ThreadPoolExecutor(6) as pool:
+        responses = list(
+            pool.map(lambda c: c.submit(sweep_body(seed=0)), clients)
+        )
+
+    ids = {r["job_id"] for r in responses}
+    assert len(ids) == 1, "identical configs must dedupe to one job id"
+    assert sum(1 for r in responses if r["created"]) == 1
+
+    job_id = ids.pop()
+    status = clients[0].wait(job_id, timeout_s=300)
+    assert status["state"] == "done"
+    # Exactly one underlying execution happened.
+    assert service.service.manager.executions.count(job_id) == 1
+    assert f"repro_service_deduped_total {len(clients) - 1}" in (
+        clients[0].metrics()
+    )
+    assert clients[0].result(job_id)["digest"] == direct_digest(0)
+
+
+def test_distinct_configs_run_independently(service):
+    client = ServiceClient(port=service.port)
+    seeds = [0, 1, 2, 3]
+    with concurrent.futures.ThreadPoolExecutor(4) as pool:
+        responses = list(
+            pool.map(lambda s: client.submit(sweep_body(seed=s)), seeds)
+        )
+    ids = [r["job_id"] for r in responses]
+    assert len(set(ids)) == len(seeds), "distinct configs, distinct jobs"
+
+    for seed, job_id in zip(seeds, ids):
+        client.wait(job_id, timeout_s=300)
+        assert client.result(job_id)["digest"] == direct_digest(seed), (
+            f"seed {seed}: served digest diverged from the direct runner"
+        )
+    executions = service.service.manager.executions
+    assert sorted(executions) == sorted(ids)
+
+
+def test_mixed_storm_dedupes_per_config(service):
+    """An interleaved storm of 2 distinct configs x 4 clients each."""
+    client = ServiceClient(port=service.port)
+    jobs = [sweep_body(seed=s) for s in (5, 6)] * 4
+    with concurrent.futures.ThreadPoolExecutor(8) as pool:
+        responses = list(pool.map(client.submit, jobs))
+    ids = {r["job_id"] for r in responses}
+    assert len(ids) == 2
+    for job_id in ids:
+        client.wait(job_id, timeout_s=300)
+    assert sorted(service.service.manager.executions) == sorted(ids)
