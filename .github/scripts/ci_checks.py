@@ -18,6 +18,9 @@ the CLI writes and asserts the same invariants explicitly:
   they must all share one uninterrupted digest (worker-count parity).
 * ``metrics-text FILE`` — the scraped ``/metrics`` exposition is valid
   Prometheus text and carries the service's required metric families.
+* ``warm-speedup COLD WARM`` — the warm re-run of the same config hit
+  the cache for (almost) every point and beat the cold run's wall time
+  by at least ``--min-ratio`` (the data-plane warm-path gate).
 * ``service-stats FILE`` — the ``service_smoke.py`` record proves the
   API served digests byte-equal to the direct CLI, deduped duplicate
   submissions, and exited 0 on SIGTERM.
@@ -161,9 +164,42 @@ _REQUIRED_METRICS = (
     "repro_service_queue_depth",
     "repro_service_jobs{state=",
     "repro_service_workers",
+    "repro_service_jobs_evicted_total",
     "repro_cache_hits_total",
     "repro_cache_misses_total",
+    "repro_cache_memory_hits_total",
 )
+
+
+def check_warm_speedup(args: argparse.Namespace) -> int:
+    cold = _load(args.cold)
+    warm = _load(args.warm)
+    cache = warm.get("cache")
+    if cache is None:
+        return _fail(f"{args.warm}: warm run recorded no cache statistics")
+    if cache.get("hit_rate", 0.0) < args.min_hit_rate:
+        return _fail(
+            f"{args.warm}: warm hit rate {cache.get('hit_rate')} < "
+            f"{args.min_hit_rate}: {cache}"
+        )
+    for path, stats in ((args.cold, cold), (args.warm, warm)):
+        if not stats.get("elapsed_s"):
+            return _fail(f"{path}: no elapsed_s recorded")
+    ratio = cold["elapsed_s"] / warm["elapsed_s"]
+    if ratio < args.min_ratio:
+        return _fail(
+            f"warm run only {ratio:.2f}x faster than cold "
+            f"({cold['elapsed_s']:.2f}s -> {warm['elapsed_s']:.2f}s), "
+            f"wanted >= {args.min_ratio}x"
+        )
+    if cold.get("digest") and cold.get("digest") != warm.get("digest"):
+        return _fail(
+            f"warm digest {warm.get('digest')} != cold {cold['digest']}"
+        )
+    print(f"OK: warm {ratio:.1f}x faster than cold "
+          f"({cold['elapsed_s']:.2f}s -> {warm['elapsed_s']:.2f}s), "
+          f"hit rate {cache['hit_rate']:.3f}, digests match")
+    return 0
 
 
 def check_metrics_text(args: argparse.Namespace) -> int:
@@ -242,6 +278,14 @@ def main(argv=None) -> int:
                        help="assert SIGKILL-and-resume digest parity")
     p.add_argument("files", nargs="+")
     p.set_defaults(func=check_chaos_stats)
+
+    p = sub.add_parser("warm-speedup",
+                       help="assert warm-run hit rate + wall-time ratio")
+    p.add_argument("cold")
+    p.add_argument("warm")
+    p.add_argument("--min-hit-rate", type=float, default=0.99)
+    p.add_argument("--min-ratio", type=float, default=3.0)
+    p.set_defaults(func=check_warm_speedup)
 
     p = sub.add_parser("metrics-text",
                        help="validate a scraped /metrics exposition")

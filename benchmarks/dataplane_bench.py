@@ -1,0 +1,334 @@
+"""Data-plane benchmark: split-key hashing, cache v2, warm-run speedup.
+
+Measures the three layers of the data-plane fast path against the
+``REPRO_DATAPLANE_SLOWPATH=1`` reference on one 128-server cluster
+configuration, and records the evidence that the optimization changed
+*nothing* about the results:
+
+* **Keying microbench** — legacy ``cache.key(point.payload())`` (full
+  ``canonical_json`` per point) vs split-key
+  ``cache.key_json(point.payload_json())`` (memoized fragments), in
+  keys/second over the run's actual sweep points.
+* **Cold + warm cluster runs** — the full configuration is run cold and
+  then warm (same cache directory, fresh :class:`ResultCache` instance)
+  under both the legacy path (v1 entries, full-payload keying,
+  uncompressed dict IPC) and the fast path (v2 entries, split keys,
+  worker memo, compressed chunk IPC).  The headline is the *warm*
+  speedup: a warm re-run is pure data plane, so it isolates exactly what
+  this fast path optimizes.
+* **Disk footprint** — ``disk_stats()`` bytes of the v1 directory vs the
+  v2 directory for the same entries.
+* **Digest gates** — the record is only written as passing if the cold
+  legacy, cold fast, warm legacy, and warm fast runs (plus a
+  scaled-down workers=1 vs workers=N cross-check) all carry one
+  bit-identical digest.  A speedup that changed a digest is a bug, not
+  a result.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/dataplane_bench.py \
+        --servers 128 --requests 60000 --workers 4
+
+CI runs a scaled-down configuration; the defaults match the nightly
+record.  Exits non-zero if a digest diverges or a ``--min-*`` floor is
+missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+import repro
+from repro.cluster_scale import (
+    ROUTING_POLICY_NAMES,
+    ClusterScaleConfig,
+    RoutingPolicy,
+    run_cluster_scale,
+)
+from repro.config import SimulationConfig, SystemKind
+from repro.core.presets import build_system
+from repro.parallel.cache import ResultCache
+from repro.parallel.sweep import SweepPoint, clear_fragment_memo
+from repro.workloads.batch import BATCH_JOBS
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _timing import env_overrides, write_record  # noqa: E402
+
+#: Environment selecting the pre-fast-path reference implementation.
+SLOWPATH = {"REPRO_DATAPLANE_SLOWPATH": "1"}
+FASTPATH = {"REPRO_DATAPLANE_SLOWPATH": None}
+
+
+def _build(args):
+    system = build_system(SystemKind(args.system))
+    if args.harvest_base is not None:
+        system = replace(
+            system,
+            cluster=replace(
+                system.cluster, harvest_vm_base_cores=args.harvest_base
+            ),
+        )
+    sim = SimulationConfig(
+        seed=args.seed,
+        accesses_per_segment=args.accesses,
+        warmup_ms=args.warmup_ms,
+    )
+    cfg = ClusterScaleConfig(
+        servers=args.servers,
+        requests=args.requests,
+        epochs=args.epochs,
+        epoch_ms=args.epoch_ms,
+        warmup_ms=args.warmup_ms,
+        routing=RoutingPolicy(args.routing),
+        harvest_max_cores=args.harvest_max,
+    )
+    return system, sim, cfg
+
+
+def _sample_points(system, sim, cfg):
+    """Representative sweep points: one per server, as epoch 0 builds them."""
+    return [
+        SweepPoint(
+            label=f"epoch=0/server={i}",
+            system=system,
+            sim=replace(
+                sim,
+                horizon_ms=cfg.epoch_ms,
+                servers_to_simulate=cfg.servers,
+            ),
+            batch_job=BATCH_JOBS[i % len(BATCH_JOBS)],
+            server_index=i,
+        )
+        for i in range(cfg.servers)
+    ]
+
+
+def _keying_bench(points, min_seconds=0.3):
+    """keys/second for legacy full-payload vs split-key hashing."""
+    cache = ResultCache(root="/nonexistent")
+
+    def run(fn):
+        clear_fragment_memo()
+        total, elapsed = 0, 0.0
+        while elapsed < min_seconds:
+            t0 = time.perf_counter()
+            for p in points:
+                fn(p)
+            elapsed += time.perf_counter() - t0
+            total += len(points)
+        return total / elapsed
+
+    legacy = run(lambda p: cache.key(p.payload()))
+    split = run(lambda p: cache.key_json(p.payload_json()))
+    # The two paths must agree on every key before their speeds mean a thing.
+    for p in points:
+        assert cache.key(p.payload()) == cache.key_json(p.payload_json())
+    return {
+        "points": len(points),
+        "legacy_keys_per_s": round(legacy, 1),
+        "split_keys_per_s": round(split, 1),
+        "speedup": round(split / legacy, 2),
+    }
+
+
+def _timed_run(system, sim, cfg, workers, cache_dir, env, progress):
+    """One cluster run in a given env; returns (elapsed_s, digest, stats)."""
+    with env_overrides(env):
+        cache = ResultCache(root=cache_dir)
+        t0 = time.perf_counter()
+        result = run_cluster_scale(
+            system, sim, cfg, workers=workers, cache=cache, progress=progress
+        )
+        elapsed = time.perf_counter() - t0
+    return elapsed, result.digest(), cache.stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=128)
+    parser.add_argument("--requests", type=int, default=9_000,
+                        help="total routed requests (kept modest so the "
+                             "routing stage, which both paths share, does "
+                             "not drown the data plane being measured)")
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--epoch-ms", type=float, default=20.0)
+    parser.add_argument("--warmup-ms", type=float, default=5.0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--routing", choices=sorted(ROUTING_POLICY_NAMES),
+                        default="p2c")
+    parser.add_argument("--system", default=SystemKind.HARDHARVEST_BLOCK.value,
+                        choices=[k.value for k in SystemKind])
+    parser.add_argument("--accesses", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--harvest-base", type=int, default=2)
+    parser.add_argument("--harvest-max", type=int, default=4)
+    parser.add_argument("--warm-rounds", type=int, default=3,
+                        help="warm re-runs per mode; best (min) is reported")
+    parser.add_argument("--min-warm-speedup", type=float, default=3.0,
+                        help="required warm legacy/fast wall ratio (0 skips)")
+    parser.add_argument("--min-compression", type=float, default=4.0,
+                        help="required v1/v2 disk-bytes ratio (0 skips)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default "
+                             "bench_results/BENCH_dataplane.json)")
+    args = parser.parse_args(argv)
+
+    system, sim, cfg = _build(args)
+
+    def progress(message: str) -> None:
+        print(f"[{time.strftime('%H:%M:%S')}] {message}", flush=True)
+
+    progress(f"keying microbench over {cfg.servers} point(s)")
+    keying = _keying_bench(_sample_points(system, sim, cfg))
+    progress(
+        f"keying: legacy {keying['legacy_keys_per_s']:.0f}/s, "
+        f"split {keying['split_keys_per_s']:.0f}/s "
+        f"({keying['speedup']:.1f}x)"
+    )
+
+    work = tempfile.mkdtemp(prefix="dataplane_bench.")
+    dir_v1 = os.path.join(work, "cache_v1")
+    dir_v2 = os.path.join(work, "cache_v2")
+    try:
+        digests = {}
+        record: dict = {}
+
+        # Cold runs populate each directory in its native format.
+        progress("cold run: legacy slow path (v1 entries)")
+        cold_legacy, digests["cold_legacy"], _ = _timed_run(
+            system, sim, cfg, args.workers, dir_v1, SLOWPATH, progress
+        )
+        progress("cold run: fast path (v2 entries)")
+        cold_fast, digests["cold_fast"], _ = _timed_run(
+            system, sim, cfg, args.workers, dir_v2, FASTPATH, progress
+        )
+
+        # Warm re-runs: pure data plane.  Fresh cache instance per run so
+        # every hit goes through key derivation + the disk entry.
+        warm_legacy, warm_fast = [], []
+        warm_stats = None
+        for rnd in range(max(1, args.warm_rounds)):
+            progress(f"warm round {rnd}: legacy then fast")
+            t, digests["warm_legacy"], _ = _timed_run(
+                system, sim, cfg, args.workers, dir_v1, SLOWPATH, None
+            )
+            warm_legacy.append(t)
+            t, digests["warm_fast"], warm_stats = _timed_run(
+                system, sim, cfg, args.workers, dir_v2, FASTPATH, None
+            )
+            warm_fast.append(t)
+        # And the fast path reading the *v1* directory: transparent
+        # migration under the same split keys, same digest.
+        progress("warm run: fast path over the legacy v1 directory")
+        _, digests["warm_fast_over_v1"], migrate_stats = _timed_run(
+            system, sim, cfg, args.workers, dir_v1, FASTPATH, None
+        )
+
+        disk_v1 = ResultCache(root=dir_v1).disk_stats()
+        disk_v2 = ResultCache(root=dir_v2).disk_stats()
+
+        # Scaled-down worker-count cross-check (cold at 1 and N workers).
+        small = ClusterScaleConfig(
+            servers=5, requests=2000, epochs=2, epoch_ms=20.0, warmup_ms=4.0,
+            routing=cfg.routing, harvest_max_cores=cfg.harvest_max_cores,
+        )
+        progress("cross-check: scaled-down cold runs at workers=1 and "
+                 f"workers={max(2, args.workers)}")
+        _, w1, _ = _timed_run(
+            system, sim, small, 1, os.path.join(work, "x1"), FASTPATH, None
+        )
+        _, wn, _ = _timed_run(
+            system, sim, small, max(2, args.workers),
+            os.path.join(work, "xN"), FASTPATH, None
+        )
+        _, w1_legacy, _ = _timed_run(
+            system, sim, small, 1, os.path.join(work, "x1v1"), SLOWPATH, None
+        )
+        cross = {"workers1": w1, "workersN": wn, "workers1_legacy": w1_legacy,
+                 "identical": len({w1, wn, w1_legacy}) == 1}
+
+        main_digests_equal = len(set(digests.values())) == 1
+        warm_speedup = min(warm_legacy) / min(warm_fast)
+        compression = (
+            disk_v1["bytes"] / disk_v2["bytes"] if disk_v2["bytes"] else 0.0
+        )
+        record = {
+            "benchmark": "dataplane",
+            "version": repro.__version__,
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "system": system.name,
+            "servers": cfg.servers,
+            "epochs": cfg.epochs,
+            "epoch_ms": cfg.epoch_ms,
+            "requests": args.requests,
+            "routing": cfg.routing.value,
+            "accesses_per_segment": sim.accesses_per_segment,
+            "workers": args.workers,
+            "keying": keying,
+            "cold_legacy_s": round(cold_legacy, 3),
+            "cold_fast_s": round(cold_fast, 3),
+            "cold_speedup": round(cold_legacy / cold_fast, 2),
+            "warm_legacy_s": round(min(warm_legacy), 3),
+            "warm_fast_s": round(min(warm_fast), 3),
+            "warm_speedup": round(warm_speedup, 2),
+            "warm_hit_rate": warm_stats.hit_rate(),
+            "warm_over_v1_hit_rate": migrate_stats.hit_rate(),
+            "disk_v1_bytes": disk_v1["bytes"],
+            "disk_v2_bytes": disk_v2["bytes"],
+            "disk_entries": disk_v2["entries"],
+            "disk_by_format": {"v1": disk_v1["by_format"],
+                               "v2": disk_v2["by_format"]},
+            "compression_ratio": round(compression, 2),
+            "digest": digests["cold_fast"],
+            "digests": digests,
+            "digests_equal": main_digests_equal,
+            "cross_check": cross,
+            "gates": {
+                "min_warm_speedup": args.min_warm_speedup,
+                "min_compression": args.min_compression,
+            },
+        }
+
+        failures = []
+        if not main_digests_equal:
+            failures.append(f"digests diverged: {digests}")
+        if not cross["identical"]:
+            failures.append(f"worker-count cross-check diverged: {cross}")
+        if warm_stats.hit_rate() < 1.0:
+            failures.append(
+                f"warm fast run missed the cache: {warm_stats.as_dict()}"
+            )
+        if migrate_stats.hit_rate() < 1.0:
+            failures.append(
+                "fast path missed over the v1 directory: "
+                f"{migrate_stats.as_dict()}"
+            )
+        if args.min_warm_speedup and warm_speedup < args.min_warm_speedup:
+            failures.append(
+                f"warm speedup {warm_speedup:.2f}x < {args.min_warm_speedup}x"
+            )
+        if args.min_compression and compression < args.min_compression:
+            failures.append(
+                f"compression {compression:.2f}x < {args.min_compression}x"
+            )
+        record["ok"] = not failures
+
+        write_record(record, "BENCH_dataplane.json", args.out)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

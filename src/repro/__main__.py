@@ -606,6 +606,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         service_workers=args.service_workers,
         grace_s=args.grace_s,
+        job_ttl_s=args.job_ttl_s,
     )
     try:
         service.run()
@@ -625,6 +626,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
     if args.prune_stale:
         pruned = cache.prune_stale()
         print(f"pruned {pruned} stale entr{'y' if pruned == 1 else 'ies'}")
+    pruned_jobs = 0
+    if args.prune_jobs is not None:
+        from repro.service.jobs import JobStore, prune_job_records
+
+        pruned_jobs = prune_job_records(
+            JobStore(args.cache_dir), args.prune_jobs
+        )
+        print(f"pruned {pruned_jobs} terminal job record(s) older than "
+              f"{args.prune_jobs:.0f}s")
     disk = cache.disk_stats()
     print(f"cache [{args.cache_dir}] version {cache.version}:")
     print(f"  entries        {disk['entries']:8d} "
@@ -635,11 +645,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"  jobs           {disk['jobs']:8d} service job record(s)")
     for version, count in sorted(disk["by_version"].items()):
         print(f"    {version:12s} {count:6d}")
+    for fmt, count in sorted(disk["by_format"].items()):
+        print(f"  format {fmt:8s}{count:8d}"
+              + ("  (compressed)" if fmt == "v2" else ""))
     if args.stats_json:
         _write_stats_json(args.stats_json, {
             **disk,
             "version": cache.version,
             "pruned": pruned,
+            "pruned_jobs": pruned_jobs,
             "session": cache.stats.as_dict(),
         })
     return 0
@@ -903,6 +917,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--grace-s", type=float, default=30.0,
                       help="seconds SIGTERM/SIGINT waits for in-flight "
                            "jobs before requeueing them (default 30)")
+    p_sv.add_argument("--job-ttl-s", type=float, default=None,
+                      help="evict terminal (done/failed) job records and "
+                           "their .result/.trace files this many seconds "
+                           "after they finish (default: keep forever; "
+                           "simulation results stay in the result cache "
+                           "either way)")
     p_sv.set_defaults(func=cmd_serve)
 
     p_ca = sub.add_parser(
@@ -916,6 +936,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="delete entries recorded under other package "
                            "versions (they can never be returned; this "
                            "reclaims their disk space)")
+    p_ca.add_argument("--prune-jobs", type=float, default=None,
+                      metavar="TTL_S",
+                      help="delete terminal (done/failed) service job "
+                           "records — and their .result/.trace files — "
+                           "older than TTL_S seconds (0 = every terminal "
+                           "record); queued/running jobs are kept")
     p_ca.add_argument("--stats-json", default=None,
                       help="write the disk statistics JSON here")
     p_ca.set_defaults(func=cmd_cache)

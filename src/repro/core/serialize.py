@@ -10,6 +10,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from enum import Enum
+from functools import lru_cache
 from typing import Any, Dict, TypeVar
 
 from repro.config import SimulationConfig, SystemConfig
@@ -35,8 +36,16 @@ def to_dict(obj: Any) -> Any:
     raise TypeError(f"cannot serialize {type(obj).__name__}")
 
 
+@lru_cache(maxsize=1)
 def _registry() -> Dict[str, type]:
-    """All dataclass/enum types reachable from the config module."""
+    """All dataclass/enum types reachable from the config module.
+
+    Cached: :func:`from_dict` recurses through every nested dataclass and
+    enum, and rebuilding the registry (a ``dir()`` walk over the config
+    module) on each recursion dominated deserialization cost in sweep
+    workers.  The config module's class set is fixed at import time, so a
+    single cached snapshot is safe.
+    """
     import repro.config as cfg
 
     out: Dict[str, type] = {}

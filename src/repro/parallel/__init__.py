@@ -11,11 +11,18 @@ The fan-out/cache substrate behind ``python -m repro sweep``, the
   broken-pool rebuild, optional quarantine of hopeless points, and
   collection keyed by point.
 * :class:`ResultCache` — content-addressed on-disk cache under
-  ``.repro_cache/`` keyed by config hash + package version.
+  ``.repro_cache/`` keyed by config hash + package version, with
+  zlib-compressed v2 entries (legacy v1 read transparently), batch
+  ``get_many``/``put_many``, and a bounded in-process LRU layer.
+
+``REPRO_DATAPLANE_SLOWPATH=1`` disables the data-plane fast path
+(split-key hashing, v2 entries, LRU, worker memo, compressed chunk IPC)
+and restores the pre-fast-path reference behavior for benchmarking.
 """
 
 from repro.parallel.cache import (
     DEFAULT_CACHE_DIR,
+    V2_MAGIC,
     CacheStats,
     ResultCache,
     canonical_json,
@@ -44,4 +51,5 @@ __all__ = [
     "CacheStats",
     "canonical_json",
     "DEFAULT_CACHE_DIR",
+    "V2_MAGIC",
 ]

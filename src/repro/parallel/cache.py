@@ -12,13 +12,32 @@ Cache-key contract (also documented in ``docs/api.md``):
 * Any config field change, seed change, or package version bump therefore
   produces a *different* key: stale results are never returned, they are
   merely orphaned (and reclaimable with :meth:`ResultCache.prune_stale`).
+* :meth:`ResultCache.key_json` accepts a pre-serialized canonical payload
+  (e.g. :meth:`SweepPoint.payload_json`, the split-key fast path) and is
+  exactly equivalent to :meth:`ResultCache.key` on the parsed dict.
 
-Entries live under ``<root>/<key[:2]>/<key>.json`` and store the version
-and payload alongside the result, so a cache directory is self-describing
-and auditable.  Writes go to a temp file in the same directory followed by
-:func:`os.replace`, so concurrent writers (e.g. two pytest workers racing
-on the same point) can never leave a torn file — last writer wins, and
-both wrote identical bytes anyway because runs are deterministic.
+Storage formats — both live under ``<root>/<key[:2]>/<key>.json``:
+
+* **v2** (default): a ``repz2\\n`` magic marker followed by a
+  zlib-compressed body laid out as ``version\\npayload_json\\nresult_json``.
+  Compression shrinks the multi-KB config+result JSON ~5-10x on disk, and
+  the line layout means :meth:`ResultCache.get` checks the version and
+  parses *only* the result line — the payload tree (usually the larger
+  half of the entry) is never re-parsed on a warm hit.
+* **v1** (legacy): plain JSON text ``{"version", "payload", "result"}``.
+  v2 readers handle v1 entries transparently, so an existing cache
+  directory keeps hitting after an upgrade; ``store_format="v1"`` (or
+  ``REPRO_DATAPLANE_SLOWPATH=1``) keeps writing the legacy format for
+  benchmarking and migration tests.
+
+On top of the disk store sits a bounded in-process LRU
+(``memory_entries``; 0 disables) so repeated gets of the same key —
+service result endpoints, sweep retries, epoch barriers — never re-open
+or re-parse a file.  Writes go to a temp file in the same directory
+followed by :func:`os.replace`, so concurrent writers (e.g. two pytest
+workers racing on the same point) can never leave a torn file — last
+writer wins, and both wrote identical bytes anyway because runs are
+deterministic.
 """
 
 from __future__ import annotations
@@ -27,13 +46,105 @@ import hashlib
 import json
 import os
 import tempfile
+import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro
 
 #: Default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: v2 entries start with this marker; everything after it is the
+#: zlib-compressed ``version\npayload\nresult`` body.
+V2_MAGIC = b"repz2\n"
+
+#: zlib level for v2 entries: 6 is the sweet spot for JSON text (within a
+#: few percent of level 9's ratio at a fraction of the CPU).
+_V2_COMPRESSION_LEVEL = 6
+
+
+def _build_zdict() -> bytes:
+    """The shared zlib preset dictionary for v2 entries.
+
+    A cache entry is mostly the canonical JSON of a config payload, and
+    every payload is a near-copy of the preset configs — so priming the
+    DEFLATE window with the presets' payload JSON (plus the common result
+    field names) lets each ~5 KB entry compress to a few hundred bytes
+    instead of the ~2 KB self-windowed zlib manages.
+
+    The dictionary is a *deterministic function of the default configs*:
+    the same package version always rebuilds the same bytes, so entries
+    written by one process inflate in any other.  Editing config defaults
+    or result field names changes the dictionary, which makes existing v2
+    entries fail to inflate — they are then invalidated and recomputed,
+    exactly as a config-schema change already orphans them via the key.
+    zlib's dictionary checksum makes the failure loud, never silent.
+    """
+    from repro.config import SimulationConfig
+    from repro.core.presets import all_systems
+    from repro.parallel.sweep import SweepPoint
+    from repro.workloads.batch import BATCH_JOBS
+
+    sim = SimulationConfig()
+    parts = [
+        SweepPoint(
+            label="zdict", system=system, sim=sim,
+            batch_job=BATCH_JOBS[index % len(BATCH_JOBS)],
+        ).payload_json()
+        for index, (_, system) in enumerate(sorted(all_systems().items()))
+    ]
+    # Common result-dict vocabulary, so the result line benefits too.
+    parts.append(
+        '"avg_busy_cores":"avg_harvest_cores":"batch_units":"breakdown":'
+        '"counters":"flush_us":"label":"p50_ms":"p99_ms":"queue_us":'
+        '"reassign_us":"requests_completed":"requests_dropped":"service_us":'
+        '"system":"frontend":"compose-post":"home-timeline":"user-timeline":'
+        '"search-hotel":"recommend":"reserve":"geo":"profile":'
+    )
+    # zlib favors matches near the dictionary's end; the last 32 KiB win.
+    return "\n".join(parts).encode("utf-8")[-32768:]
+
+
+#: Lazily-built singleton (building it imports the preset configs).
+_ZDICT: Optional[bytes] = None
+
+
+def _zdict() -> bytes:
+    global _ZDICT
+    if _ZDICT is None:
+        _ZDICT = _build_zdict()
+    return _ZDICT
+
+
+def _v2_compress(body: bytes) -> bytes:
+    co = zlib.compressobj(
+        _V2_COMPRESSION_LEVEL, zlib.DEFLATED, zlib.MAX_WBITS,
+        zlib.DEF_MEM_LEVEL, zlib.Z_DEFAULT_STRATEGY, _zdict(),
+    )
+    return co.compress(body) + co.flush()
+
+
+def _v2_decompress(data: bytes) -> bytes:
+    do = zlib.decompressobj(zlib.MAX_WBITS, zdict=_zdict())
+    out = do.decompress(data)
+    out += do.flush()
+    if not do.eof:
+        raise ValueError("truncated v2 cache entry")
+    return out
+
+
+def _slowpath() -> bool:
+    """True when the data-plane fast path is disabled via the environment.
+
+    ``REPRO_DATAPLANE_SLOWPATH=1`` mirrors ``REPRO_MEM_SLOWPATH`` /
+    ``REPRO_SCHED_SLOWPATH``: it keeps the pre-fast-path reference
+    behavior in-tree (legacy full-payload keying in the runner, v1 cache
+    entries, no memory layer) so benchmarks can measure the fast path
+    against an honest baseline and CI can pin format-parity.
+    """
+    return os.environ.get("REPRO_DATAPLANE_SLOWPATH") == "1"
 
 
 def canonical_json(obj: Any) -> str:
@@ -51,6 +162,9 @@ class CacheStats:
     #: Entries dropped because they were unreadable or recorded under a
     #: different package version than the file location implies.
     invalidations: int = 0
+    #: Subset of ``hits`` served by the in-process LRU layer (no file
+    #: open, no JSON parse).
+    memory_hits: int = 0
 
     def hit_rate(self) -> float:
         looked = self.hits + self.misses
@@ -62,6 +176,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "memory_hits": self.memory_hits,
             "hit_rate": self.hit_rate(),
         }
 
@@ -73,31 +188,158 @@ class ResultCache:
     root: str = DEFAULT_CACHE_DIR
     version: str = field(default_factory=lambda: repro.__version__)
     stats: CacheStats = field(default_factory=CacheStats)
+    #: On-disk entry format for *writes*: "v2" (compressed, default) or
+    #: "v1" (legacy plain JSON).  Reads understand both regardless.
+    store_format: str = field(
+        default_factory=lambda: "v1" if _slowpath() else "v2"
+    )
+    #: Bound of the in-process LRU layer (entries); 0 disables it.
+    memory_entries: int = field(
+        default_factory=lambda: 0 if _slowpath() else 512
+    )
+    _memory: "OrderedDict[str, Dict[str, Any]]" = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.store_format not in ("v1", "v2"):
+            raise ValueError(
+                f"unknown cache store_format {self.store_format!r}"
+            )
 
     def key(self, payload: Dict[str, Any]) -> str:
         """The content address of a sweep-point payload under this version."""
-        material = canonical_json(payload) + "\n" + self.version
+        return self.key_json(canonical_json(payload))
+
+    def key_json(self, payload_json: str) -> str:
+        """:meth:`key` for an already-canonical payload string.
+
+        The split-key fast path: :meth:`SweepPoint.payload_json` assembles
+        the canonical string from memoized fragments, and this hashes it
+        without ever materializing the payload dict.  Guaranteed equal to
+        ``key(json.loads(payload_json))`` for canonical input.
+        """
+        material = payload_json + "\n" + self.version
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    # -- entry codec --------------------------------------------------
+
+    def _encode(self, payload: Union[Dict[str, Any], str],
+                result: Dict[str, Any]) -> bytes:
+        if self.store_format == "v1":
+            if isinstance(payload, str):
+                payload = json.loads(payload)
+            entry = {
+                "version": self.version, "payload": payload, "result": result,
+            }
+            return json.dumps(entry).encode("utf-8")
+        payload_json = (
+            payload if isinstance(payload, str) else canonical_json(payload)
+        )
+        # The result line preserves dict insertion order (no sort_keys),
+        # exactly as v1's json.dump did: downstream float reductions
+        # (e.g. the cluster merge averaging p99 maps) iterate result
+        # dicts, and reordering keys would perturb summation order — a
+        # last-ulp digest change between warm and cold runs.
+        result_json = json.dumps(
+            result, separators=(",", ":"), allow_nan=True
+        )
+        body = self.version + "\n" + payload_json + "\n" + result_json
+        return V2_MAGIC + _v2_compress(body.encode("utf-8"))
+
+    @staticmethod
+    def _decode_result(blob: bytes) -> Tuple[Optional[str], Dict[str, Any]]:
+        """(version, result) from an entry blob; payload is not parsed."""
+        if blob.startswith(V2_MAGIC):
+            body = _v2_decompress(blob[len(V2_MAGIC):]).decode("utf-8")
+            version, sep, rest = body.partition("\n")
+            _, sep2, result_json = rest.partition("\n")
+            if not sep or not sep2:
+                raise ValueError("truncated v2 cache entry")
+            return version, json.loads(result_json)
+        entry = json.loads(blob.decode("utf-8"))
+        if "result" not in entry:
+            raise ValueError("incomplete cache entry")
+        return entry.get("version"), entry["result"]
+
+    @staticmethod
+    def _decode_version(blob: bytes) -> Optional[str]:
+        """Just the recorded version — cheapest possible decode."""
+        if blob.startswith(V2_MAGIC):
+            body = _v2_decompress(blob[len(V2_MAGIC):])
+            version, sep, _ = body.partition(b"\n")
+            if not sep:
+                raise ValueError("truncated v2 cache entry")
+            return version.decode("utf-8")
+        entry = json.loads(blob.decode("utf-8"))
+        if "result" not in entry:
+            raise ValueError("incomplete cache entry")
+        return entry.get("version")
+
+    def read_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The full stored entry (version/payload/result), either format.
+
+        Audit/tooling path — :meth:`get` is the hot path and deliberately
+        skips the payload parse this performs.  Returns None if absent.
+        """
+        try:
+            with open(self._path(key), "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            return None
+        if blob.startswith(V2_MAGIC):
+            body = _v2_decompress(blob[len(V2_MAGIC):]).decode("utf-8")
+            version, _, rest = body.partition("\n")
+            payload_json, _, result_json = rest.partition("\n")
+            return {
+                "version": version,
+                "payload": json.loads(payload_json),
+                "result": json.loads(result_json),
+            }
+        return json.loads(blob.decode("utf-8"))
+
+    # -- memory layer -------------------------------------------------
+
+    def _remember(self, key: str, result: Dict[str, Any]) -> None:
+        if not self.memory_entries:
+            return
+        mem = self._memory
+        mem[key] = result
+        mem.move_to_end(key)
+        while len(mem) > self.memory_entries:
+            mem.popitem(last=False)
+
+    # -- core API -----------------------------------------------------
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached result dict for ``key``, or None on miss.
 
-        A corrupted or version-mismatched entry counts as a miss (plus an
-        invalidation) and is deleted so the recompute can overwrite it.
+        Served from the in-process LRU when possible; otherwise the disk
+        entry (either format) is read and remembered.  A corrupted or
+        version-mismatched entry counts as a miss (plus an invalidation)
+        and is deleted so the recompute can overwrite it.
         """
+        if self.memory_entries:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return cached
         path = self._path(key)
         try:
-            with open(path) as fh:
-                entry = json.load(fh)
-            if entry.get("version") != self.version or "result" not in entry:
-                raise ValueError("stale or incomplete cache entry")
+            with open(path, "rb") as fh:
+                blob = fh.read()
+            version, result = self._decode_result(blob)
+            if version != self.version:
+                raise ValueError("stale cache entry")
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (ValueError, OSError):
+        except (ValueError, OSError, zlib.error):
             self.stats.misses += 1
             self.stats.invalidations += 1
             try:
@@ -106,19 +348,39 @@ class ResultCache:
                 pass
             return None
         self.stats.hits += 1
-        return entry["result"]
+        self._remember(key, result)
+        return result
 
-    def put(self, key: str, payload: Dict[str, Any], result: Dict[str, Any]) -> None:
-        """Store a result atomically (write-to-temp + rename)."""
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Batch :meth:`get`: returns ``{key: result}`` for the hits only.
+
+        Counter semantics are exactly N single gets (duplicates in
+        ``keys`` are looked up — and counted — once each).
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in keys:
+            hit = self.get(key)
+            if hit is not None:
+                out[key] = hit
+        return out
+
+    def put(self, key: str, payload: Union[Dict[str, Any], str],
+            result: Dict[str, Any]) -> None:
+        """Store a result atomically (write-to-temp + rename).
+
+        ``payload`` may be the dict or its canonical JSON string — the
+        runner passes the split-key string straight through so the
+        payload tree is never re-parsed just to be stored.
+        """
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        entry = {"version": self.version, "payload": payload, "result": result}
+        data = self._encode(payload, result)
         fd, tmp = tempfile.mkstemp(
             prefix=key[:8] + ".", suffix=".tmp", dir=os.path.dirname(path)
         )
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(entry, fh)
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -127,6 +389,42 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        self._remember(key, result)
+
+    def put_many(
+        self,
+        entries: Iterable[Tuple[str, Union[Dict[str, Any], str], Dict[str, Any]]],
+    ) -> int:
+        """Batch :meth:`put`; returns the number of entries stored."""
+        count = 0
+        for key, payload, result in entries:
+            self.put(key, payload, result)
+            count += 1
+        return count
+
+    # -- maintenance --------------------------------------------------
+
+    def _entry_paths(self) -> Iterable[str]:
+        """Entry files on disk, tolerating concurrent pruners.
+
+        A shard directory or entry removed between ``listdir`` and the
+        caller's open/stat simply vanishes from the walk — a concurrently
+        pruned file must never be misreported as corrupt.
+        """
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            # "jobs" holds repro.service job records, not cache entries.
+            if shard == "jobs" or not os.path.isdir(shard_dir):
+                continue
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except FileNotFoundError:
+                continue  # shard pruned mid-walk
+            for name in names:
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
 
     def prune_stale(self) -> int:
         """Delete entries recorded under a different package version.
@@ -136,83 +434,79 @@ class ResultCache:
         a version bump.  Returns the number of entries removed.
         """
         removed = 0
-        if not os.path.isdir(self.root):
-            return 0
-        for shard in sorted(os.listdir(self.root)):
-            shard_dir = os.path.join(self.root, shard)
-            # "jobs" holds repro.service job records, not cache entries.
-            if not os.path.isdir(shard_dir) or shard == "jobs":
-                continue
-            for name in sorted(os.listdir(shard_dir)):
-                if not name.endswith(".json"):
-                    continue
-                path = os.path.join(shard_dir, name)
+        for path in self._entry_paths():
+            try:
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+                stale = self._decode_version(blob) != self.version
+            except FileNotFoundError:
+                continue  # entry pruned mid-walk: nothing to reclaim
+            except (ValueError, OSError, zlib.error):
+                stale = True
+            if stale:
                 try:
-                    with open(path) as fh:
-                        entry = json.load(fh)
-                    stale = entry.get("version") != self.version
-                except (ValueError, OSError):
-                    stale = True
-                if stale:
-                    try:
-                        os.remove(path)
-                        removed += 1
-                        self.stats.invalidations += 1
-                    except OSError:
-                        pass
+                    os.remove(path)
+                    removed += 1
+                    self.stats.invalidations += 1
+                except OSError:
+                    pass
         return removed
 
     def disk_stats(self) -> Dict[str, Any]:
         """Walk the cache directory and summarize what is on disk.
 
         Returns ``entries`` / ``bytes`` / ``current`` / ``stale`` counts,
-        a ``by_version`` breakdown (unreadable entries count under
-        ``"<corrupt>"``), and the number of service job records under
-        ``<root>/jobs`` — the payload behind ``python -m repro cache``.
+        ``by_version`` and ``by_format`` breakdowns (unreadable entries
+        count under ``"<corrupt>"``), and the number of service job
+        records under ``<root>/jobs`` — the payload behind
+        ``python -m repro cache``.  Entries deleted concurrently during
+        the walk are skipped, not miscounted.
         """
         stats: Dict[str, Any] = {
             "entries": 0, "bytes": 0, "current": 0, "stale": 0,
-            "by_version": {}, "jobs": 0,
+            "by_version": {}, "by_format": {}, "jobs": 0,
         }
-        if not os.path.isdir(self.root):
-            return stats
-        for shard in sorted(os.listdir(self.root)):
-            shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir) or shard == "jobs":
-                continue
-            for name in sorted(os.listdir(shard_dir)):
-                if not name.endswith(".json"):
-                    continue
-                path = os.path.join(shard_dir, name)
-                try:
-                    stats["bytes"] += os.path.getsize(path)
-                    with open(path) as fh:
-                        version = json.load(fh).get("version", "<corrupt>")
-                except (ValueError, OSError):
+        for path in self._entry_paths():
+            try:
+                size = os.path.getsize(path)
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+            except FileNotFoundError:
+                continue  # entry pruned mid-walk
+            except OSError:
+                # Present but unreadable (permissions, I/O error): it
+                # occupies the cache, so count it — as corrupt.
+                size, blob = 0, b""
+            if blob:
+                fmt = "v2" if blob.startswith(V2_MAGIC) else "v1"
+            else:
+                fmt = "<corrupt>"
+            try:
+                version = self._decode_version(blob)
+                if version is None:
                     version = "<corrupt>"
-                stats["entries"] += 1
-                if version == self.version:
-                    stats["current"] += 1
-                else:
-                    stats["stale"] += 1
-                stats["by_version"][version] = (
-                    stats["by_version"].get(version, 0) + 1
-                )
+            except (ValueError, OSError, zlib.error):
+                version = "<corrupt>"
+            stats["entries"] += 1
+            stats["bytes"] += size
+            if version == self.version:
+                stats["current"] += 1
+            else:
+                stats["stale"] += 1
+            stats["by_version"][version] = (
+                stats["by_version"].get(version, 0) + 1
+            )
+            stats["by_format"][fmt] = stats["by_format"].get(fmt, 0) + 1
         jobs_dir = os.path.join(self.root, "jobs")
-        if os.path.isdir(jobs_dir):
+        try:
             stats["jobs"] = sum(
                 1 for n in os.listdir(jobs_dir)
                 if n.endswith(".json")
                 and not n.endswith((".result.json", ".trace.json"))
             )
+        except FileNotFoundError:
+            pass
         return stats
 
     def __len__(self) -> int:
-        count = 0
-        if not os.path.isdir(self.root):
-            return 0
-        for shard in os.listdir(self.root):
-            shard_dir = os.path.join(self.root, shard)
-            if os.path.isdir(shard_dir) and shard != "jobs":
-                count += sum(1 for n in os.listdir(shard_dir) if n.endswith(".json"))
-        return count
+        return sum(1 for _ in self._entry_paths())

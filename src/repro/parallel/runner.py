@@ -37,15 +37,22 @@ into :mod:`repro.cluster.server` workers.
 from __future__ import annotations
 
 import json
+import pickle
 import time
+import zlib
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.export import server_result_from_dict, server_result_to_dict
 from repro.core.metrics import ServerResult
-from repro.parallel.cache import CacheStats, ResultCache, canonical_json
+from repro.parallel.cache import (
+    CacheStats,
+    ResultCache,
+    _slowpath,
+    canonical_json,
+)
 from repro.parallel.sweep import SweepPoint, SweepSpec
 from repro.workloads.batch import BatchJobProfile
 
@@ -64,6 +71,66 @@ MAX_POOL_REBUILDS = 3
 
 #: Patchable sleep hook so tests can assert backoff without waiting it out.
 _sleep = time.sleep
+
+#: zlib level for chunk result transfer: 1 trades a little ratio for
+#: speed — the point is shrinking IPC pickles, not archival storage.
+_RESULT_COMPRESSION_LEVEL = 1
+
+#: Per-worker memo: content key -> deserialized config object.  A chunk
+#: of cluster-scale points shares its SystemConfig / SimulationConfig /
+#: BatchJobProfile sub-trees; deserializing each distinct sub-tree once
+#: per worker (instead of once per point) removes the dominant per-point
+#: setup cost.  Safe because every memoized object is a frozen dataclass.
+_WORKER_MEMO: Dict[str, Any] = {}
+#: Clear-on-full bound — sweeps reuse a handful of configs; this only
+#: guards a pathological grid of thousands of distinct sub-configs.
+_WORKER_MEMO_MAX = 512
+
+
+def _init_worker() -> None:
+    """Process-pool initializer: reset the memo, pre-warm hot imports.
+
+    Importing the simulator stack here (once per worker, before the
+    first chunk lands) keeps the first task of every worker from paying
+    the import cost inside its timed chunk.
+    """
+    _WORKER_MEMO.clear()
+    import repro.core.experiment  # noqa: F401
+    import repro.core.serialize  # noqa: F401
+
+
+def _memoized_part(kind: str, part: Dict, build: Callable[[Dict], Any]) -> Any:
+    """Deserialize ``part`` once per distinct content per process.
+
+    The memo key is the canonical JSON of the already-parsed sub-dict —
+    a pure content address, so two points whose system configs are equal
+    share one frozen instance no matter how they were produced.
+    """
+    memo_key = kind + ":" + json.dumps(
+        part, sort_keys=True, separators=(",", ":")
+    )
+    obj = _WORKER_MEMO.get(memo_key)
+    if obj is None:
+        if len(_WORKER_MEMO) >= _WORKER_MEMO_MAX:
+            _WORKER_MEMO.clear()
+        obj = build(part)
+        _WORKER_MEMO[memo_key] = obj
+    return obj
+
+
+def _decode_chunk_result(result: Union[Dict, bytes, bytearray]) -> Dict:
+    """Inverse of the worker-side result compression (no-op for dicts).
+
+    Pickle (not JSON) under the zlib layer: result dicts may carry
+    int-keyed counters, and a JSON round-trip would coerce those keys to
+    strings — changing ``canonical_json`` sort order and therefore the
+    digests that must stay bit-identical between the serial and pooled
+    paths.  The bytes come from our own pool workers, the same trust
+    domain whose task pickles we already execute.
+    """
+    if isinstance(result, (bytes, bytearray)):
+        return pickle.loads(zlib.decompress(result))
+    return result
 
 
 @dataclass(frozen=True)
@@ -111,20 +178,32 @@ def execute_payload(payload_json: str) -> Dict:
     from repro.core.serialize import from_dict
 
     payload = json.loads(payload_json)
-    system = from_dict(payload["system"])
-    sim = from_dict(payload["simulation"])
-    job = (
-        BatchJobProfile(**payload["batch_job"])
-        if payload.get("batch_job") is not None
-        else None
-    )
+    if _slowpath():
+        system = from_dict(payload["system"])
+        sim = from_dict(payload["simulation"])
+        job = (
+            BatchJobProfile(**payload["batch_job"])
+            if payload.get("batch_job") is not None
+            else None
+        )
+    else:
+        system = _memoized_part("system", payload["system"], from_dict)
+        sim = _memoized_part("simulation", payload["simulation"], from_dict)
+        job_part = payload.get("batch_job")
+        job = (
+            _memoized_part(
+                "batch_job", job_part, lambda p: BatchJobProfile(**p)
+            )
+            if job_part is not None
+            else None
+        )
     result = run_server(system, sim, job, server_index=payload["server_index"])
     return server_result_to_dict(result)
 
 
 def execute_payload_chunk(
     tasks: Sequence[Tuple[str, str]],
-) -> List[Tuple[str, Optional[Dict], Optional[str]]]:
+) -> List[Tuple[str, Optional[Union[Dict, bytes]], Optional[str]]]:
     """Worker entry point: run a contiguous chunk of sweep points.
 
     Submitting one pool task per *chunk* rather than per point amortizes
@@ -135,11 +214,25 @@ def execute_payload_chunk(
 
     ``execute_payload`` is resolved through the module global at call
     time so test monkeypatching reaches the chunked path too.
+
+    Successful results cross the process boundary as zlib-compressed
+    canonical JSON bytes (decoded by :func:`_decode_chunk_result` on the
+    parent side): result dicts are multi-KB of repetitive text, so
+    compressing at level 1 shrinks the IPC pickle several-fold for
+    negligible CPU.  ``REPRO_DATAPLANE_SLOWPATH=1`` ships plain dicts,
+    preserving the pre-fast-path wire format for benchmarking.
     """
-    out: List[Tuple[str, Optional[Dict], Optional[str]]] = []
+    compress = not _slowpath()
+    out: List[Tuple[str, Optional[Union[Dict, bytes]], Optional[str]]] = []
     for label, payload_json in tasks:
         try:
-            out.append((label, execute_payload(payload_json), None))
+            result = execute_payload(payload_json)
+            if compress:
+                result = zlib.compress(
+                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+                    _RESULT_COMPRESSION_LEVEL,
+                )
+            out.append((label, result, None))
         except Exception as exc:  # noqa: BLE001 - uniform retry handling
             out.append((label, None, f"{type(exc).__name__}: {exc}"))
     return out
@@ -210,7 +303,7 @@ def _execute_batch(
         chunk_size = max(1, -(-len(tasks) // (workers * 4)))
     chunks = [tasks[i:i + chunk_size] for i in range(0, len(tasks), chunk_size)]
     max_workers = min(workers, len(chunks))
-    pool = ProcessPoolExecutor(max_workers=max_workers)
+    pool = ProcessPoolExecutor(max_workers=max_workers, initializer=_init_worker)
     try:
         futures = [(chunk, pool.submit(execute_payload_chunk, chunk))
                    for chunk in chunks]
@@ -222,7 +315,7 @@ def _execute_batch(
             try:
                 for label, result, err in future.result(timeout=timeout):
                     if err is None:
-                        done[label] = result
+                        done[label] = _decode_chunk_result(result)
                     else:
                         failed[label] = err
             except FutureTimeout:
@@ -250,7 +343,9 @@ def _execute_batch(
                     cursor = 0
                     break
                 rebuilds += 1
-                pool = ProcessPoolExecutor(max_workers=max_workers)
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers, initializer=_init_worker
+                )
                 futures = [
                     (lost_chunk, pool.submit(execute_payload_chunk, lost_chunk))
                     for lost_chunk, _ in remaining
@@ -302,19 +397,38 @@ def run_sweep(
         raise ValueError(f"duplicate sweep point labels: {dupes}")
 
     started = time.monotonic()
-    payloads = {p.label: canonical_json(p.payload()) for p in points}
+    # Split-key fast path: payload_json() assembles each point's
+    # canonical JSON from identity-memoized fragments of the shared
+    # config instances (byte-identical output, so identical keys), and
+    # key_json() hashes the string without re-materializing the dict.
+    # REPRO_DATAPLANE_SLOWPATH=1 keeps the legacy full re-serialization
+    # in-tree as the benchmark baseline.
+    fast = not _slowpath()
+    if fast:
+        payloads = {p.label: p.payload_json() for p in points}
+    else:
+        payloads = {p.label: canonical_json(p.payload()) for p in points}
     raw: Dict[str, Dict] = {}
     keys: Dict[str, str] = {}
 
     if cache is not None:
         for point in points:
-            key = cache.key(json.loads(payloads[point.label]))
-            keys[point.label] = key
-            hit = cache.get(key)
+            if fast:
+                keys[point.label] = cache.key_json(payloads[point.label])
+            else:
+                keys[point.label] = cache.key(json.loads(payloads[point.label]))
+        hits = cache.get_many([keys[p.label] for p in points])
+        for point in points:
+            hit = hits.get(keys[point.label])
             if hit is not None:
                 raw[point.label] = hit
 
-    outcome = SweepOutcome(results={}, cache_stats=cache.stats if cache else None)
+    # ``is not None``, not truthiness: ResultCache defines __len__, so
+    # ``if cache`` would walk the whole cache directory just to build the
+    # outcome record.
+    outcome = SweepOutcome(
+        results={}, cache_stats=cache.stats if cache is not None else None
+    )
     outcome.from_cache = len(raw)
 
     pending = [(p.label, payloads[p.label]) for p in points if p.label not in raw]
@@ -371,13 +485,20 @@ def run_sweep(
                 "recompute — a worker is consuming hidden non-deterministic "
                 "state (global RNG, wall clock, ...)"
             )
+    to_store: List[Tuple[str, Union[Dict, str], Dict]] = []
     for label, _ in pending:
         if label in outcome.quarantined:
             continue
         raw[label] = done[label]
         outcome.computed += 1
         if cache is not None:
-            cache.put(keys[label], json.loads(payloads[label]), done[label])
+            # Fast path hands the canonical string straight to the
+            # store; the payload tree is never re-parsed just to be
+            # re-serialized into the entry.
+            payload = payloads[label] if fast else json.loads(payloads[label])
+            to_store.append((keys[label], payload, done[label]))
+    if cache is not None and to_store:
+        cache.put_many(to_store)
 
     outcome.results = {
         lbl: server_result_from_dict(raw[lbl]) for lbl in labels if lbl in raw

@@ -17,7 +17,13 @@ Prometheus metrics.  ``python -m repro serve`` starts it; see
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.http import JobService, ServiceHandle, start_in_thread
-from repro.service.jobs import JobManager, JobRecord, JobStore, QueueFullError
+from repro.service.jobs import (
+    JobManager,
+    JobRecord,
+    JobStore,
+    QueueFullError,
+    prune_job_records,
+)
 from repro.service.spec import (
     JobRequest,
     JobValidationError,
@@ -39,6 +45,7 @@ __all__ = [
     "ServiceHandle",
     "job_content_id",
     "parse_job_request",
+    "prune_job_records",
     "start_in_thread",
     "validate_simulation",
 ]

@@ -63,6 +63,7 @@ class JobService:
         service_workers: int = 2,
         grace_s: float = 30.0,
         quiet: bool = False,
+        job_ttl_s: Optional[float] = None,
     ):
         self.host = host
         self.port = port
@@ -72,6 +73,9 @@ class JobService:
         self.service_workers = service_workers
         self.grace_s = grace_s
         self.quiet = quiet
+        #: Terminal job records older than this are evicted periodically
+        #: (record + .result/.trace files); None disables eviction.
+        self.job_ttl_s = job_ttl_s
         self.metrics = MetricsRegistry(self.manager, service_workers)
         self._queue: "asyncio.Queue[str]" = asyncio.Queue()
         self._draining = False
@@ -100,10 +104,21 @@ class JobService:
             asyncio.ensure_future(self._worker_loop(i))
             for i in range(self.service_workers)
         ]
+        if self.job_ttl_s is not None:
+            # Rides in _worker_tasks so shutdown's cancel sweep stops it.
+            self._worker_tasks.append(
+                asyncio.ensure_future(self._evict_loop())
+            )
         self._log(
             f"listening on http://{self.host}:{self.bound_port} "
             f"(workers={self.service_workers}, "
-            f"cache={'on' if self.cache_root else 'off'})"
+            f"cache={'on' if self.cache_root else 'off'}"
+            + (
+                f", job_ttl={self.job_ttl_s:.0f}s"
+                if self.job_ttl_s is not None
+                else ""
+            )
+            + ")"
         )
 
     async def shutdown(self, grace_s: Optional[float] = None) -> None:
@@ -162,6 +177,23 @@ class JobService:
             loop.run_until_complete(self.serve_forever())
         finally:
             loop.close()
+
+    # -- TTL eviction --------------------------------------------------
+    async def _evict_loop(self) -> None:
+        """Periodically drop terminal job records past their TTL.
+
+        The interval is ttl/2 clamped to [1s, 60s] — frequent enough
+        that nothing outlives ~1.5 TTLs, cheap enough to never matter.
+        """
+        interval = max(1.0, min(self.job_ttl_s / 2.0, 60.0))
+        while True:
+            await asyncio.sleep(interval)
+            evicted = self.manager.evict_expired(self.job_ttl_s)
+            if evicted:
+                self._log(
+                    f"evicted {len(evicted)} job record(s) past "
+                    f"{self.job_ttl_s:.0f}s TTL"
+                )
 
     # -- worker pool ---------------------------------------------------
     async def _worker_loop(self, slot: int) -> None:

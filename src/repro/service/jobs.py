@@ -146,6 +146,28 @@ class JobStore:
         except (OSError, ValueError):
             return None
 
+    def delete(self, job_id: str) -> bool:
+        """Remove a job record and its ``.result``/``.trace`` siblings.
+
+        Returns True when the record file itself existed.  Used by TTL
+        eviction; the underlying simulation results stay in the
+        ResultCache, so a re-submitted job re-serves from cache rather
+        than re-simulating.
+        """
+        removed = False
+        for path in (
+            self.job_path(job_id),
+            self.result_path(job_id),
+            self.trace_path(job_id),
+        ):
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            if path == self.job_path(job_id):
+                removed = True
+        return removed
+
 
 class JobManager:
     """Thread-safe job table with bounded admission and content dedupe.
@@ -169,6 +191,7 @@ class JobManager:
         self.completed = 0
         self.failed = 0
         self.resumed = 0
+        self.evicted = 0
         #: Job ids actually executed by this process — the concurrency
         #: tests assert one execution per unique config.
         self.executions: List[str] = []
@@ -274,6 +297,36 @@ class JobManager:
             self._cache_totals.misses += stats.misses
             self._cache_totals.stores += stats.stores
             self._cache_totals.invalidations += stats.invalidations
+            self._cache_totals.memory_hits += stats.memory_hits
+
+    # -- TTL eviction --------------------------------------------------
+    def evict_expired(self, ttl_s: float, now: Optional[float] = None) -> List[str]:
+        """Drop terminal (done/failed) jobs older than ``ttl_s`` seconds.
+
+        Age is measured from ``finished_s``.  Eviction removes the job
+        record and its ``.result``/``.trace`` files and forgets the id,
+        so a later identical submission runs as a fresh job — but its
+        simulation results still hit the ResultCache, so eviction never
+        costs recomputation, only job-table memory and job-store disk.
+        Returns the evicted ids (oldest first).
+        """
+        now = time.time() if now is None else now
+        evicted: List[str] = []
+        with self._lock:
+            for job_id, record in sorted(
+                self.jobs.items(),
+                key=lambda kv: kv[1].finished_s or kv[1].submitted_s,
+            ):
+                if record.state not in ("done", "failed"):
+                    continue
+                finished = record.finished_s or record.submitted_s
+                if now - finished < ttl_s:
+                    continue
+                self.store.delete(job_id)
+                del self.jobs[job_id]
+                self.evicted += 1
+                evicted.append(job_id)
+        return evicted
 
     # -- recovery ------------------------------------------------------
     def recover(self) -> List[str]:
@@ -333,4 +386,27 @@ class JobManager:
                 misses=self._cache_totals.misses,
                 stores=self._cache_totals.stores,
                 invalidations=self._cache_totals.invalidations,
+                memory_hits=self._cache_totals.memory_hits,
             )
+
+
+def prune_job_records(
+    store: JobStore, ttl_s: float, now: Optional[float] = None
+) -> int:
+    """Offline TTL sweep over a job store (``repro cache --prune-jobs``).
+
+    Same policy as :meth:`JobManager.evict_expired`, but driven from the
+    on-disk records so it works without a running service.  Only terminal
+    (done/failed) records are touched; queued/running jobs belong to a
+    live or resumable service and are left alone.  Returns the number of
+    records removed.
+    """
+    now = time.time() if now is None else now
+    removed = 0
+    for record in store.load_all():
+        if record.state not in ("done", "failed"):
+            continue
+        finished = record.finished_s or record.submitted_s or 0.0
+        if now - finished >= ttl_s and store.delete(record.job_id):
+            removed += 1
+    return removed

@@ -113,6 +113,11 @@ class MetricsRegistry:
             [({}, manager.resumed)],
         )
         family(
+            "repro_service_jobs_evicted_total", "counter",
+            "Terminal job records evicted past the --job-ttl-s TTL.",
+            [({}, manager.evicted)],
+        )
+        family(
             "repro_service_workers", "gauge",
             "Configured worker slots.",
             [({}, self.service_workers)],
@@ -142,6 +147,11 @@ class MetricsRegistry:
             "repro_cache_invalidations_total", "counter",
             "ResultCache entries dropped as corrupt or version-stale.",
             [({}, cache.invalidations)],
+        )
+        family(
+            "repro_cache_memory_hits_total", "counter",
+            "Subset of cache hits served by the in-process LRU layer.",
+            [({}, cache.memory_hits)],
         )
         family(
             "repro_cache_hit_ratio", "gauge",

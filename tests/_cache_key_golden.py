@@ -1,0 +1,97 @@
+"""Cases + generator for the cache-key stability golden.
+
+``tests/data/golden_cache_keys.json`` pins the sha256 cache key of a
+spread of representative sweep-point payloads under a *fixed* version
+string, computed via the legacy full-payload path
+(``ResultCache.key(point.payload())``).  The tests then hold the
+split-key fast path (:meth:`SweepPoint.payload_json` +
+:meth:`ResultCache.key_json`) to those exact hex digests — if fragment
+assembly ever drifts from ``canonical_json`` by a single byte, existing
+on-disk caches would silently stop hitting, and this golden catches it.
+
+The pinned version is the literal string ``"golden"`` (not the package
+version), so routine version bumps never touch the pins; only an
+intentional change to payload encoding or key derivation should.
+
+Regenerate with ``PYTHONPATH=src python tests/_cache_key_golden.py --write``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, Iterator, Tuple
+
+from repro.config import SimulationConfig
+from repro.core.presets import all_systems
+from repro.faults.scenarios import get_scenario
+from repro.parallel.sweep import SweepPoint
+from repro.workloads.batch import BATCH_JOBS
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_cache_keys.json"
+)
+
+#: The version string baked into every pinned key.
+GOLDEN_VERSION = "golden"
+
+
+def all_cases() -> Iterator[Tuple[str, SweepPoint]]:
+    """(label, point) pairs spanning the payload feature space."""
+    systems = all_systems()
+    plain = SimulationConfig(seed=0, horizon_ms=5.0)
+    for name, system in systems.items():
+        yield f"{name}/plain", SweepPoint(
+            label="x", system=system, sim=plain
+        )
+    hh = systems["HardHarvest-Block"]
+    yield "HardHarvest-Block/override", SweepPoint(
+        label="x",
+        system=hh,
+        sim=SimulationConfig(
+            seed=2, horizon_ms=8.0, load_scale=1.5, accesses_per_segment=2,
+            suite="hotel",
+        ),
+    )
+    storm = get_scenario("crash-storm", 50.0)
+    yield "HardHarvest-Block/crash-storm", SweepPoint(
+        label="x",
+        system=hh,
+        sim=dataclasses.replace(
+            plain, faults=storm.schedule, client=storm.client
+        ),
+    )
+    yield "HardHarvest-Block/batch+server7", SweepPoint(
+        label="x",
+        system=hh,
+        sim=plain,
+        batch_job=BATCH_JOBS[0],
+        server_index=7,
+    )
+
+
+def compute_keys() -> Dict[str, str]:
+    """Legacy-path keys for every case under the golden version."""
+    from repro.parallel.cache import ResultCache
+
+    cache = ResultCache(root="/nonexistent", version=GOLDEN_VERSION)
+    return {label: cache.key(point.payload()) for label, point in all_cases()}
+
+
+def load_golden() -> Dict[str, str]:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+if __name__ == "__main__":
+    import sys
+
+    keys = compute_keys()
+    if "--write" in sys.argv:
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(keys, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {GOLDEN_PATH} ({len(keys)} pins)")
+    else:
+        print(json.dumps(keys, indent=2, sort_keys=True))

@@ -175,12 +175,9 @@ def test_verify_cached_trips_on_tampered_result(tmp_path):
     run_sweep(spec, workers=1, cache=cache)
     point = next(iter(spec.points()))
     key = cache.key(point.payload())
-    entry_path = cache._path(key)
-    with open(entry_path) as fh:
-        entry = json.load(fh)
+    entry = cache.read_entry(key)
     entry["result"]["avg_busy_cores"] += 1.0  # simulate nondeterminism
-    with open(entry_path, "w") as fh:
-        json.dump(entry, fh)
+    cache.put(key, entry["payload"], entry["result"])
     with pytest.raises(DeterminismError, match="bit-identical"):
         run_sweep(
             spec, workers=1, cache=ResultCache(root=str(tmp_path)),

@@ -7,13 +7,12 @@ atomicity under concurrent writers.
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 
 import pytest
 
-from repro.parallel.cache import CacheStats, ResultCache, canonical_json
+from repro.parallel.cache import V2_MAGIC, CacheStats, ResultCache, canonical_json
 
 PAYLOAD = {"system": {"name": "X"}, "simulation": {"seed": 3}, "server_index": 0}
 RESULT = {"p99": 1.25, "counters": {"lends": 4}}
@@ -43,10 +42,17 @@ def test_miss_then_hit_with_counters(tmp_path):
     key = cache.key(PAYLOAD)
     assert cache.get(key) is None
     cache.put(key, PAYLOAD, RESULT)
+    # put() primes the in-process LRU, so this hit never touches disk.
     assert cache.get(key) == RESULT
-    assert cache.stats == CacheStats(hits=1, misses=1, stores=1, invalidations=0)
+    assert cache.stats == CacheStats(
+        hits=1, misses=1, stores=1, invalidations=0, memory_hits=1
+    )
     assert cache.stats.hit_rate() == 0.5
     assert len(cache) == 1
+    # A fresh instance (cold memory layer) hits the disk entry.
+    fresh = ResultCache(root=str(tmp_path))
+    assert fresh.get(key) == RESULT
+    assert fresh.stats == CacheStats(hits=1, memory_hits=0)
 
 
 def test_version_bump_misses_and_prune_evicts(tmp_path):
@@ -66,14 +72,19 @@ def test_version_bump_misses_and_prune_evicts(tmp_path):
     assert new.get(new.key(PAYLOAD)) == RESULT
 
 
-@pytest.mark.parametrize("garbage", ["", "{not json", '{"version": "1.0.0"}'])
+@pytest.mark.parametrize(
+    "garbage", ["", "{not json", '{"version": "1.0.0"}', "repz2\nnot-zlib"]
+)
 def test_corrupted_entry_falls_back_to_recompute(tmp_path, garbage):
-    cache = ResultCache(root=str(tmp_path))
-    key = cache.key(PAYLOAD)
-    cache.put(key, PAYLOAD, RESULT)
-    path = cache._path(key)
+    writer = ResultCache(root=str(tmp_path))
+    key = writer.key(PAYLOAD)
+    writer.put(key, PAYLOAD, RESULT)
+    path = writer._path(key)
     with open(path, "w") as fh:
         fh.write(garbage)
+    # Fresh instance: corruption is discovered by a reader whose memory
+    # layer has not been primed by the original put.
+    cache = ResultCache(root=str(tmp_path))
     assert cache.get(key) is None  # corrupt -> miss, not a crash
     assert cache.stats.invalidations == 1
     assert not os.path.exists(path)  # corrupt file removed
@@ -85,11 +96,13 @@ def test_entry_is_self_describing(tmp_path):
     cache = ResultCache(root=str(tmp_path))
     key = cache.key(PAYLOAD)
     cache.put(key, PAYLOAD, RESULT)
-    with open(cache._path(key)) as fh:
-        entry = json.load(fh)
+    with open(cache._path(key), "rb") as fh:
+        assert fh.read().startswith(V2_MAGIC)  # marked, compressed entry
+    entry = cache.read_entry(key)
     assert entry["version"] == cache.version
     assert entry["payload"] == PAYLOAD
     assert entry["result"] == RESULT
+    assert cache.read_entry("0" * 64) is None
 
 
 def test_concurrent_writers_never_leave_a_torn_file(tmp_path):
